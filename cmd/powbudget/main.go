@@ -1,0 +1,183 @@
+// Command powbudget runs the variation-aware power budgeting pipeline for
+// one application and constraint, printing the derived α, the common target
+// frequency, and the per-module power allocations — the output a job
+// prologue would apply via RAPL or cpufreq.
+//
+// Usage:
+//
+//	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
+//	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
+//
+// With -sweep "48,64,96,...", it instead strong-scales the job across the
+// listed module counts under the same budget and reports which
+// configuration is fastest — the hardware-overprovisioning question (see
+// internal/overprov).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/overprov"
+	"varpower/internal/report"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "dgemm", "benchmark name")
+		budgetStr = flag.String("budget", "134kW", "application power constraint, e.g. 134kW")
+		modules   = flag.Int("modules", 1920, "modules allocated to the job")
+		scheme    = flag.String("scheme", "vapc", "scheme (naive, pc, vapc, vapcor, vafs, vafsor)")
+		seed      = flag.Uint64("seed", 0x5c15, "system seed")
+		show      = flag.Int("show", 8, "how many per-module allocations to print")
+		sweep     = flag.String("sweep", "", "comma-separated module counts for an overprovisioning sweep (strong-scales the job; -modules becomes the reference count)")
+	)
+	flag.Parse()
+	if *sweep != "" {
+		if err := runSweep(*benchName, *budgetStr, *modules, *sweep, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "powbudget:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*benchName, *budgetStr, *modules, *scheme, *seed, *show); err != nil {
+		fmt.Fprintln(os.Stderr, "powbudget:", err)
+		os.Exit(1)
+	}
+}
+
+// runSweep answers the overprovisioning question: under this budget, how
+// many modules should the job use?
+func runSweep(benchName, budgetStr string, refModules int, sweep string, seed uint64) error {
+	bench, err := workload.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	budget, err := units.ParseWatts(budgetStr)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	maxCount := refModules
+	for _, part := range strings.Split(sweep, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil {
+			return fmt.Errorf("bad sweep entry %q", part)
+		}
+		counts = append(counts, n)
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	sys, err := cluster.New(cluster.HA8K(), maxCount, seed)
+	if err != nil {
+		return err
+	}
+	fw, err := core.NewFramework(sys, nil)
+	if err != nil {
+		return err
+	}
+	res, err := overprov.Analyze(fw, bench, budget, refModules, counts, core.VaFs)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s under %v, strong-scaled from %d reference ranks", bench.Name, budget, refModules),
+		"Modules", "W/module", "alpha", "Freq", "Elapsed", "Note")
+	for i, p := range res.Points {
+		note := ""
+		if !p.Feasible {
+			t.AddRow(fmt.Sprint(p.Modules), report.Cellf(float64(p.CmAvg), 1), "-", "-", "-", "infeasible (below fmin power)")
+			continue
+		}
+		if !p.Constrained {
+			note = "unconstrained (budget exceeds demand)"
+		}
+		if i == res.Best {
+			note = "<== optimal"
+		}
+		t.AddRow(fmt.Sprint(p.Modules), report.Cellf(float64(p.CmAvg), 1),
+			report.Cellf(p.Alpha, 3), p.Freq.String(),
+			fmt.Sprintf("%.1f s", float64(p.Elapsed)), note)
+	}
+	return t.Render(os.Stdout)
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	for _, sc := range core.AllSchemes() {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show int) error {
+	bench, err := workload.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	budget, err := units.ParseWatts(budgetStr)
+	if err != nil {
+		return err
+	}
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	sys, err := cluster.New(cluster.HA8K(), modules, seed)
+	if err != nil {
+		return err
+	}
+	ids, err := sys.AllocateFirst(modules)
+	if err != nil {
+		return err
+	}
+	fw, err := core.NewFramework(sys, nil)
+	if err != nil {
+		return err
+	}
+	pmt, err := fw.BuildPMT(bench, ids, scheme)
+	if err != nil {
+		return err
+	}
+	alloc, err := core.Solve(pmt, sys.Spec.Arch, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark    : %s\n", bench.Name)
+	fmt.Printf("scheme       : %v\n", scheme)
+	fmt.Printf("budget       : %v for %d modules (avg %.1f W/module)\n",
+		budget, modules, float64(budget)/float64(modules))
+	fmt.Printf("alpha        : %.4f\n", alloc.Alpha)
+	fmt.Printf("target freq  : %v", alloc.Freq)
+	if scheme.UsesFS() {
+		fmt.Printf("  (P-state %v)", sys.Spec.Arch.QuantizeDown(alloc.Freq))
+	}
+	fmt.Println()
+	fmt.Printf("feasible     : %v   constrained: %v\n", alloc.Feasible, alloc.Constrained)
+	fmt.Printf("predicted sum: %v\n\n", alloc.TotalPredicted())
+
+	if !alloc.Feasible {
+		fmt.Println("budget is below the fmin power of the allocation; the job cannot run")
+		return nil
+	}
+	if show > len(alloc.Entries) {
+		show = len(alloc.Entries)
+	}
+	t := report.NewTable(fmt.Sprintf("First %d module allocations", show),
+		"Module", "Pmodule [W]", "Pcpu cap [W]", "Pdram [W]")
+	for _, e := range alloc.Entries[:show] {
+		t.AddRow(fmt.Sprint(e.ModuleID),
+			report.Cellf(float64(e.Pmodule), 2),
+			report.Cellf(float64(e.Pcpu), 2),
+			report.Cellf(float64(e.Pdram), 2))
+	}
+	return t.Render(os.Stdout)
+}

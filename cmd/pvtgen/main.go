@@ -1,0 +1,79 @@
+// Command pvtgen generates a system's Power Variation Table — the
+// install-time step of the paper's framework — and writes it as JSON.
+//
+// Usage:
+//
+//	pvtgen [-system ha8k|cab|teller|vulcan] [-modules N] [-seed S] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"varpower/internal/cluster"
+	"varpower/internal/config"
+	"varpower/internal/core"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "ha8k", "system preset (ha8k, cab, teller, vulcan)")
+		sysFile = flag.String("system-file", "", "JSON system description (overrides -system)")
+		modules = flag.Int("modules", 0, "module count (0 = whole machine)")
+		seed    = flag.Uint64("seed", 0x5c15, "system seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*system, *sysFile, *modules, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pvtgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, sysFile string, modules int, seed uint64, out string) error {
+	var spec cluster.Spec
+	if sysFile != "" {
+		f, err := os.Open(sysFile)
+		if err != nil {
+			return err
+		}
+		spec, err = config.LoadSystem(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		switch strings.ToLower(system) {
+		case "ha8k":
+			spec = cluster.HA8K()
+		case "cab":
+			spec = cluster.Cab()
+		case "teller":
+			spec = cluster.Teller()
+		case "vulcan":
+			spec = cluster.Vulcan()
+		default:
+			return fmt.Errorf("unknown system %q", system)
+		}
+	}
+	sys, err := cluster.New(spec, modules, seed)
+	if err != nil {
+		return err
+	}
+	pvt, err := core.GeneratePVT(sys, nil)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return pvt.Save(w)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"varpower/internal/experiments"
+	"varpower/internal/report"
+)
+
+// dumpAll writes every figure's raw data series as CSV files into dir —
+// the replotting artifact (see internal/experiments/export.go).
+func dumpAll(dir string, o experiments.Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, t *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.RenderCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name+".csv"))
+		return nil
+	}
+
+	series, err := experiments.Figure1(o)
+	if err != nil {
+		return err
+	}
+	for _, t := range experiments.Fig1Data(series) {
+		if err := write("fig1_"+slug(t.Title), t); err != nil {
+			return err
+		}
+	}
+
+	f2i, err := experiments.Figure2i(o)
+	if err != nil {
+		return err
+	}
+	for _, t := range experiments.Fig2iData(f2i) {
+		if err := write("fig2i_"+slug(t.Title), t); err != nil {
+			return err
+		}
+	}
+	sweep, err := experiments.Figure2Sweep(o)
+	if err != nil {
+		return err
+	}
+	if err := write("fig2_sweep", experiments.Fig2SweepData(sweep)); err != nil {
+		return err
+	}
+
+	f3, err := experiments.Figure3(o)
+	if err != nil {
+		return err
+	}
+	if err := write("fig3", experiments.Fig3Data(f3)); err != nil {
+		return err
+	}
+
+	f5, err := experiments.Figure5(o)
+	if err != nil {
+		return err
+	}
+	if err := write("fig5", experiments.Fig5Data(f5)); err != nil {
+		return err
+	}
+
+	f6, err := experiments.Figure6(o)
+	if err != nil {
+		return err
+	}
+	if err := write("fig6", experiments.Fig6Data(f6)); err != nil {
+		return err
+	}
+
+	t4, err := experiments.Table4(o)
+	if err != nil {
+		return err
+	}
+	if err := write("table4", experiments.Table4Data(t4)); err != nil {
+		return err
+	}
+
+	grid, err := experiments.EvaluationGrid(o)
+	if err != nil {
+		return err
+	}
+	f7, err := experiments.Figure7(grid)
+	if err != nil {
+		return err
+	}
+	if err := write("fig7", experiments.Fig7Data(f7)); err != nil {
+		return err
+	}
+	f8, err := experiments.Figure8(grid)
+	if err != nil {
+		return err
+	}
+	p1, p2 := experiments.Fig8Data(f8)
+	if err := write("fig8i", p1); err != nil {
+		return err
+	}
+	if err := write("fig8ii", p2); err != nil {
+		return err
+	}
+	f9, err := experiments.Figure9(grid)
+	if err != nil {
+		return err
+	}
+	return write("fig9", experiments.Fig9Data(f9))
+}
+
+// slug converts a table title into a file-name fragment.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '/', r == '-':
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}

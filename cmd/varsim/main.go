@@ -1,0 +1,217 @@
+// Command varsim reproduces the paper's tables and figures on the
+// simulated systems and prints them as text tables.
+//
+// Usage:
+//
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9]
+//	       [-modules N] [-seed S]
+//
+// -modules scales the HA8K experiments (default 1920, the paper's size);
+// feasibility boundaries are per-module and therefore scale-invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"varpower/internal/experiments"
+	"varpower/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9)")
+		modules = flag.Int("modules", 1920, "HA8K module count")
+		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
+		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
+		plot    = flag.Bool("plot", false, "also draw ASCII plots of figure shapes (fig1, fig2, fig5)")
+	)
+	flag.Parse()
+	plotShapes = *plot
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules}
+	if *dump != "" {
+		if err := dumpAll(*dump, o); err != nil {
+			fmt.Fprintln(os.Stderr, "varsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(strings.ToLower(*exp), o); err != nil {
+		fmt.Fprintln(os.Stderr, "varsim:", err)
+		os.Exit(1)
+	}
+}
+
+// plotShapes enables ASCII figure rendering alongside the summary tables.
+var plotShapes bool
+
+func run(exp string, o experiments.Options) error {
+	w := os.Stdout
+	wantAll := exp == "all"
+	want := func(name string) bool { return wantAll || exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		report.Section(w, "Table 1")
+		if err := experiments.RenderTable1(w); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		ran = true
+		report.Section(w, "Table 2")
+		if err := experiments.RenderTable2(w); err != nil {
+			return err
+		}
+	}
+	if want("table3") {
+		ran = true
+		report.Section(w, "Table 3")
+		if err := experiments.RenderTable3(w); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		ran = true
+		report.Section(w, "Figure 4")
+		if err := experiments.RenderFigure4(w); err != nil {
+			return err
+		}
+	}
+	if want("fig1") {
+		ran = true
+		report.Section(w, "Figure 1")
+		series, err := experiments.Figure1(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure1(w, series); err != nil {
+			return err
+		}
+		if plotShapes {
+			fmt.Fprintln(w)
+			if err := plotFigure1(w, series); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig2") {
+		ran = true
+		report.Section(w, "Figure 2")
+		f2i, err := experiments.Figure2i(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure2i(w, f2i); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		sweep, err := experiments.Figure2Sweep(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure2Sweep(w, sweep); err != nil {
+			return err
+		}
+		if plotShapes {
+			fmt.Fprintln(w)
+			if err := plotFigure2ii(w, sweep); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig3") {
+		ran = true
+		report.Section(w, "Figure 3")
+		f3, err := experiments.Figure3(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure3(w, f3); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		ran = true
+		report.Section(w, "Figure 5")
+		f5, err := experiments.Figure5(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure5(w, f5); err != nil {
+			return err
+		}
+		if plotShapes {
+			fmt.Fprintln(w)
+			if err := plotFigure5(w, f5); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig6") {
+		ran = true
+		report.Section(w, "Figure 6")
+		f6, err := experiments.Figure6(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFigure6(w, f6); err != nil {
+			return err
+		}
+	}
+	if want("table4") {
+		ran = true
+		report.Section(w, "Table 4")
+		t4, err := experiments.Table4(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTable4(w, t4); err != nil {
+			return err
+		}
+	}
+	if want("fig7") || want("fig8") || want("fig9") {
+		ran = true
+		grid, err := experiments.EvaluationGrid(o)
+		if err != nil {
+			return err
+		}
+		if want("fig7") {
+			report.Section(w, "Figure 7")
+			f7, err := experiments.Figure7(grid)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderFigure7(w, f7); err != nil {
+				return err
+			}
+		}
+		if want("fig8") {
+			report.Section(w, "Figure 8")
+			f8, err := experiments.Figure8(grid)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderFigure8(w, f8); err != nil {
+				return err
+			}
+		}
+		if want("fig9") {
+			report.Section(w, "Figure 9")
+			f9, err := experiments.Figure9(grid)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderFigure9(w, f9); err != nil {
+				return err
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"varpower/internal/experiments"
+	"varpower/internal/report"
+)
+
+// ASCII renderings of the figure shapes, enabled with -plot: the summary
+// tables carry the numbers, these carry the eyeball check against the
+// published plots.
+
+func plotFigure1(w io.Writer, series []experiments.Fig1Series) error {
+	for _, s := range series {
+		p := report.NewPlot(
+			fmt.Sprintf("Figure 1 — %s (%d units, sorted by performance)", s.System, s.Units),
+			"unit rank", "percent")
+		var idx, slow, pow []float64
+		for i, pt := range s.Points {
+			idx = append(idx, float64(i))
+			slow = append(slow, pt.SlowdownPct)
+			pow = append(pow, pt.PowerIncreasePct)
+		}
+		if err := p.Add("slowdown %", idx, slow); err != nil {
+			return err
+		}
+		if err := p.Add("power increase %", idx, pow); err != nil {
+			return err
+		}
+		out, err := p.Render()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	}
+	return nil
+}
+
+func plotFigure2ii(w io.Writer, sweeps []experiments.Fig2SweepResult) error {
+	for _, sweep := range sweeps {
+		p := report.NewPlot(
+			fmt.Sprintf("Figure 2(ii) — %s: CPU power vs mean frequency per cap level", sweep.Bench),
+			"mean CPU frequency [GHz]", "mean CPU power [W]")
+		var fx, pw []float64
+		for _, c := range sweep.Clusters {
+			fx = append(fx, c.MeanFreqGHz)
+			pw = append(pw, c.CPUPower.Mean)
+		}
+		if err := p.Add("cap levels", fx, pw); err != nil {
+			return err
+		}
+		out, err := p.Render()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	}
+	return nil
+}
+
+func plotFigure5(w io.Writer, results []experiments.Fig5Result) error {
+	p := report.NewPlot("Figure 5 — average CPU power vs frequency (64 modules)",
+		"frequency [GHz]", "power [W]")
+	for _, r := range results {
+		var fx, pw []float64
+		for _, pt := range r.Points {
+			fx = append(fx, pt.FreqGHz)
+			pw = append(pw, pt.CPU)
+		}
+		if err := p.Add(r.Bench, fx, pw); err != nil {
+			return err
+		}
+	}
+	out, err := p.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, out)
+	return nil
+}

@@ -1,0 +1,78 @@
+// Budget-sweep evaluates one application under a descending series of
+// power budgets and prints, for each level, what every allocation scheme
+// delivers — a miniature of the paper's Figure 7 for a single benchmark,
+// useful for exploring where variation awareness starts to matter.
+//
+// Run with:
+//
+//	go run ./examples/budget-sweep [-bench mhd] [-modules 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"os"
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/report"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "mhd", "benchmark to sweep")
+	modules := flag.Int("modules", 128, "modules allocated to the job")
+	flag.Parse()
+
+	bench, err := workload.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := cluster.New(cluster.HA8K(), *modules, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := sys.AllocateFirst(*modules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.NewFramework(sys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schemes := []core.Scheme{core.Naive, core.Pc, core.VaPc, core.VaFs}
+	t := report.NewTable(
+		fmt.Sprintf("%s on %d modules: elapsed seconds (speedup vs Naive)", bench.Name, *modules),
+		"Cm avg", "Naive", "Pc", "VaPc", "VaFs")
+
+	for _, cm := range []float64{100, 90, 80, 70, 60} {
+		budget := units.Watts(cm * float64(*modules))
+		cells := []string{fmt.Sprintf("%.0f W", cm)}
+		var naive float64
+		feasible := true
+		for _, scheme := range schemes {
+			run, err := fw.Run(bench, ids, budget, scheme)
+			if err != nil {
+				cells = append(cells, "infeasible")
+				feasible = false
+				continue
+			}
+			el := float64(run.Elapsed())
+			if scheme == core.Naive {
+				naive = el
+			}
+			cells = append(cells, fmt.Sprintf("%.1f (%.2fx)", el, naive/el))
+		}
+		_ = feasible
+		t.AddRow(cells...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTighter budgets widen the gap: uniform caps leave power-hungry modules")
+	fmt.Println("slow (and, below the DVFS floor, duty-cycled), while the variation-aware")
+	fmt.Println("schemes spend the same total power to hold one common frequency.")
+}

@@ -1,0 +1,67 @@
+// Variation-study reproduces the paper's Section-4 analysis on a scaled-
+// down cluster: how large is manufacturing variability, and what does a
+// uniform power cap do to it?
+//
+// It prints three mini-reports:
+//
+//  1. the Figure-1 style cross-machine study (Cab / Vulcan / Teller),
+//  2. the Figure-2 style uncapped power census of the HA8K modules,
+//  3. a cap sweep showing power variation turning into frequency and
+//     execution-time variation.
+//
+// Run with:
+//
+//	go run ./examples/variation-study
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"varpower/internal/experiments"
+	"varpower/internal/report"
+)
+
+func main() {
+	// Reduced scales keep this example snappy; drop the overrides to run
+	// at the paper's full sizes.
+	o := experiments.Options{
+		HA8KModules:   256,
+		CabSockets:    512,
+		VulcanBoards:  16,
+		TellerSockets: 64,
+	}
+
+	report.Section(os.Stdout, "Cross-machine manufacturing variability (Figure 1)")
+	series, err := experiments.Figure1(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.RenderFigure1(os.Stdout, series); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nNote the Teller row: slowdown and power are negatively correlated —")
+	fmt.Println("AMD Turbo Core gives leaky (power-hungry) parts more frequency headroom.")
+
+	report.Section(os.Stdout, "Uncapped module power census on HA8K (Figure 2(i))")
+	f2i, err := experiments.Figure2i(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.RenderFigure2i(os.Stdout, f2i); err != nil {
+		log.Fatal(err)
+	}
+
+	report.Section(os.Stdout, "Uniform power caps turn power variation into performance variation (Figure 2(ii)/(iii))")
+	sweep, err := experiments.Figure2Sweep(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.RenderFigure2Sweep(os.Stdout, sweep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading guide: Vf (frequency variation) grows as Cm tightens; *DGEMM's")
+	fmt.Println("Vt grows with it (no synchronisation), while MHD's Vt stays ≈ 1 because")
+	fmt.Println("its halo exchanges absorb the imbalance as wait time (see Figure 3).")
+}

@@ -1,0 +1,3 @@
+module varpower
+
+go 1.22

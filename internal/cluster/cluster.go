@@ -1,0 +1,297 @@
+// Package cluster assembles modules into systems and provides presets for
+// the four production machines of the paper's Table 2: Cab (LLNL, Intel
+// Sandy Bridge), Vulcan (LLNL, IBM BlueGene/Q), Teller (SNL, AMD
+// Piledriver) and HA8K (Kyushu University, Intel Ivy Bridge).
+//
+// Each preset carries a variability profile calibrated so the population
+// statistics match the paper's measurements:
+//
+//   - Cab: ≈23% max CPU power increase across 2,386 sockets, no
+//     performance variation (frequency-binned parts).
+//   - Vulcan: ≈11% power variation across 48 node boards (measurement is
+//     per 32-node board, so module-level spread partially averages out and
+//     a per-board delivery factor dominates).
+//   - Teller: ≈21% power and ≈17% performance variation across 64 sockets
+//     with a *negative* slowdown/power correlation (AMD Turbo Core grants
+//     leakier parts more frequency headroom).
+//   - HA8K: module (CPU+DRAM) Vp ≈ 1.2–1.5 and DRAM Vp ≈ 2.8 across 1,920
+//     modules.
+package cluster
+
+import (
+	"fmt"
+
+	"varpower/internal/hw/cpufreq"
+	"varpower/internal/hw/module"
+	"varpower/internal/hw/msr"
+	"varpower/internal/hw/rapl"
+	"varpower/internal/units"
+	"varpower/internal/variability"
+	"varpower/internal/xrand"
+)
+
+// Measurement names the power-measurement technique available on a system
+// (Table 1).
+type Measurement string
+
+// Measurement techniques from Table 1.
+const (
+	MeasureRAPL Measurement = "RAPL"
+	MeasurePI   Measurement = "PowerInsight"
+	MeasureEMON Measurement = "BGQ EMON"
+)
+
+// SupportsCapping reports whether the technique can also *enforce* power
+// limits; in the paper (and here) only RAPL can.
+func (m Measurement) SupportsCapping() bool { return m == MeasureRAPL }
+
+// Spec is a system description — one row of the paper's Table 2.
+type Spec struct {
+	Name string
+	Site string
+
+	Arch            *module.Arch
+	Nodes           int
+	ProcsPerNode    int
+	MemoryPerNodeGB int
+
+	Measurement Measurement
+
+	// ModulesPerBoard is the power-measurement aggregation granularity for
+	// EMON systems (32 compute cards per BG/Q node board); 1 elsewhere.
+	ModulesPerBoard int
+
+	// BoardFactorSigma is the per-board power-delivery variation (DCA/VRM
+	// efficiency spread) applied on top of summed module power for
+	// board-granularity systems.
+	BoardFactorSigma float64
+}
+
+// TotalModules returns Nodes × ProcsPerNode.
+func (s Spec) TotalModules() int { return s.Nodes * s.ProcsPerNode }
+
+// System is an instantiated machine: a population of modules with their
+// drawn variation factors plus the per-module control/measurement plumbing
+// (MSR devices, RAPL controllers where supported, cpufreq governors).
+type System struct {
+	Spec Spec
+	Seed uint64
+
+	modules     []*module.Module
+	devices     []*msr.Device
+	controllers []*rapl.Controller
+	governors   []*cpufreq.Governor
+}
+
+// New instantiates count modules of the spec (count ≤ Spec.TotalModules;
+// pass 0 for the full machine). Instantiation is deterministic in seed.
+func New(spec Spec, count int, seed uint64) (*System, error) {
+	if err := spec.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	total := spec.TotalModules()
+	if count == 0 {
+		count = total
+	}
+	if count < 1 || count > total {
+		return nil, fmt.Errorf("cluster: %s has %d modules, cannot instantiate %d", spec.Name, total, count)
+	}
+	sys := &System{
+		Spec:        spec,
+		Seed:        seed,
+		modules:     make([]*module.Module, count),
+		devices:     make([]*msr.Device, count),
+		controllers: make([]*rapl.Controller, count),
+		governors:   make([]*cpufreq.Governor, count),
+	}
+	for i := 0; i < count; i++ {
+		m := module.New(i, spec.Arch, seed)
+		sys.modules[i] = m
+		sys.devices[i] = msr.NewDevice(float64(spec.Arch.TDP))
+		sys.controllers[i] = rapl.NewController(m, sys.devices[i], rapl.DefaultControl, seed)
+		sys.governors[i] = cpufreq.NewGovernor(m)
+	}
+	return sys, nil
+}
+
+// MustNew is New for presets known to be valid; it panics on error.
+func MustNew(spec Spec, count int, seed uint64) *System {
+	s, err := New(spec, count, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumModules returns the instantiated module count.
+func (s *System) NumModules() int { return len(s.modules) }
+
+// Module returns module id.
+func (s *System) Module(id int) *module.Module { return s.modules[id] }
+
+// RAPL returns module id's RAPL controller. Callers must check
+// Spec.Measurement.SupportsCapping before relying on enforcement; the
+// controller exists on all systems (the MSR space exists) but on non-Intel
+// presets it models nothing the real machine had.
+func (s *System) RAPL(id int) *rapl.Controller { return s.controllers[id] }
+
+// Governor returns module id's cpufreq governor.
+func (s *System) Governor(id int) *cpufreq.Governor { return s.governors[id] }
+
+// SetControlModel replaces every controller's RAPL control-imperfection
+// model (used by ablation benchmarks).
+func (s *System) SetControlModel(c rapl.ControlModel) {
+	for i, m := range s.modules {
+		s.controllers[i] = rapl.NewController(m, s.devices[i], c, s.Seed)
+	}
+}
+
+// AllocateFirst returns the first n module IDs — the dedicated-system
+// allocation used for the paper's HA8K experiments.
+func (s *System) AllocateFirst(n int) ([]int, error) {
+	if n < 1 || n > len(s.modules) {
+		return nil, fmt.Errorf("cluster: allocation of %d from %d modules", n, len(s.modules))
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids, nil
+}
+
+// AllocateRandom returns n distinct module IDs drawn uniformly — what a
+// batch scheduler hands an application on a shared system. The draw is
+// deterministic in (system seed, nonce).
+func (s *System) AllocateRandom(n int, nonce uint64) ([]int, error) {
+	if n < 1 || n > len(s.modules) {
+		return nil, fmt.Errorf("cluster: allocation of %d from %d modules", n, len(s.modules))
+	}
+	rng := xrand.NewKeyed(s.Seed, 0x616c6c6f63 /* "alloc" */, nonce)
+	perm := rng.Perm(len(s.modules))
+	return perm[:n], nil
+}
+
+// BoardFactor returns the power-delivery factor of measurement board b
+// (≈1, sigma Spec.BoardFactorSigma), deterministic in the system seed.
+func (s *System) BoardFactor(b int) float64 {
+	if s.Spec.BoardFactorSigma == 0 {
+		return 1
+	}
+	rng := xrand.NewKeyed(s.Seed, 0x626f617264 /* "board" */, uint64(b))
+	return 1 + rng.TruncNormal(0, s.Spec.BoardFactorSigma, -3.5, 3.5)
+}
+
+// --- Presets (Table 2) ------------------------------------------------------
+
+// HA8K returns the Kyushu University HA8000 spec (Intel E5-2697v2 Ivy
+// Bridge, 960 nodes × 2 sockets = 1,920 modules, RAPL): the system all the
+// capping experiments run on.
+func HA8K() Spec {
+	return Spec{
+		Name: "HA8K", Site: "Kyushu Univ. (QUARTETTO)",
+		Arch: &module.Arch{
+			Name:   "Intel E5-2697v2 Ivy Bridge",
+			Vendor: "Intel", CoresPer: 12,
+			FMin: units.GHz(1.2), FNom: units.GHz(2.7), FTurbo: units.GHz(3.0),
+			PStateStep: units.MHz(100),
+			TDP:        130, DramTDP: 62,
+			UncappedCeiling: 100.9,
+			IdlePower:       22,
+			CliffExponent:   2.7,
+			MemBW:           50e9,
+			Variation: variability.Profile{
+				LeakSigma: 0.13, DynSigma: 0.032, DramSigma: 0.15,
+			},
+		},
+		Nodes: 960, ProcsPerNode: 2, MemoryPerNodeGB: 256,
+		Measurement:     MeasureRAPL,
+		ModulesPerBoard: 1,
+	}
+}
+
+// Cab returns the LLNL Cab spec (Intel E5-2670 Sandy Bridge, 1,296 nodes ×
+// 2 sockets, RAPL measurement; DRAM readings unavailable due to BIOS
+// restrictions, which callers model by simply not reading DRAM).
+func Cab() Spec {
+	return Spec{
+		Name: "Cab", Site: "LLNL",
+		Arch: &module.Arch{
+			Name:   "Intel E5-2670 Sandy Bridge",
+			Vendor: "Intel", CoresPer: 8,
+			FMin: units.GHz(1.2), FNom: units.GHz(2.6), FTurbo: units.GHz(3.0),
+			PStateStep: units.MHz(100),
+			TDP:        115, DramTDP: 48,
+			UncappedCeiling: 105,
+			IdlePower:       20,
+			CliffExponent:   2.7,
+			MemBW:           40e9,
+			Variation: variability.Profile{
+				LeakSigma: 0.14, DynSigma: 0.028, DramSigma: 0.14,
+			},
+		},
+		Nodes: 1296, ProcsPerNode: 2, MemoryPerNodeGB: 32,
+		Measurement:     MeasureRAPL,
+		ModulesPerBoard: 1,
+	}
+}
+
+// Vulcan returns the LLNL Vulcan spec (IBM PowerPC A2 BlueGene/Q, 24,576
+// single-socket nodes, EMON measurement at 32-node board granularity).
+// The A2 runs at a fixed 1.6 GHz — no DVFS, no capping.
+func Vulcan() Spec {
+	return Spec{
+		Name: "BG/Q Vulcan", Site: "LLNL",
+		Arch: &module.Arch{
+			Name:   "IBM PowerPC A2",
+			Vendor: "IBM", CoresPer: 16,
+			FMin: units.GHz(1.6), FNom: units.GHz(1.6), FTurbo: units.GHz(1.6),
+			PStateStep: units.MHz(100),
+			TDP:        55, DramTDP: 20,
+			UncappedCeiling: 60,
+			IdlePower:       12,
+			CliffExponent:   2.7,
+			MemBW:           28e9,
+			Variation: variability.Profile{
+				LeakSigma: 0.09, DynSigma: 0.025, DramSigma: 0.12,
+			},
+		},
+		Nodes: 24576, ProcsPerNode: 1, MemoryPerNodeGB: 16,
+		Measurement:      MeasureEMON,
+		ModulesPerBoard:  32,
+		BoardFactorSigma: 0.028,
+	}
+}
+
+// Teller returns the SNL Teller spec (AMD A10-5800K Piledriver, 104
+// single-socket nodes, PowerInsight measurement). Turbo Core gives leakier
+// parts more frequency headroom (TurboSpread/TurboLeakCorr), producing the
+// paper's observed performance variation and negative slowdown/power
+// correlation.
+func Teller() Spec {
+	return Spec{
+		Name: "Teller", Site: "SNL",
+		Arch: &module.Arch{
+			Name:   "AMD A10-5800K Piledriver",
+			Vendor: "AMD", CoresPer: 4,
+			FMin: units.GHz(1.4), FNom: units.GHz(3.8), FTurbo: units.GHz(4.2),
+			PStateStep: units.MHz(100),
+			TDP:        100, DramTDP: 30,
+			UncappedCeiling: 98,
+			IdlePower:       18,
+			CliffExponent:   2.7,
+			MemBW:           20e9,
+			Variation: variability.Profile{
+				LeakSigma: 0.10, DynSigma: 0.025, DramSigma: 0.16,
+				TurboSpread: 0.11, TurboLeakCorr: 0.75,
+			},
+		},
+		Nodes: 104, ProcsPerNode: 1, MemoryPerNodeGB: 16,
+		Measurement:     MeasurePI,
+		ModulesPerBoard: 1,
+	}
+}
+
+// Presets returns all four Table-2 systems in the paper's order.
+func Presets() []Spec {
+	return []Spec{Cab(), Vulcan(), Teller(), HA8K()}
+}

@@ -1,0 +1,237 @@
+// Package config serialises system and workload descriptions as JSON, so
+// the tooling is not limited to the four built-in Table-2 machines and
+// seven built-in benchmarks: a site can describe its own cluster (TDPs,
+// frequency range, variation profile measured from its own PVT) and its
+// own application models, and run the same budgeting pipeline over them.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"varpower/internal/cluster"
+	"varpower/internal/hw/module"
+	"varpower/internal/units"
+	"varpower/internal/variability"
+	"varpower/internal/workload"
+)
+
+// SystemJSON is the on-disk form of a cluster.Spec.
+type SystemJSON struct {
+	Name            string  `json:"name"`
+	Site            string  `json:"site"`
+	ArchName        string  `json:"arch"`
+	Vendor          string  `json:"vendor"`
+	CoresPerProc    int     `json:"cores_per_proc"`
+	FMinGHz         float64 `json:"fmin_ghz"`
+	FNomGHz         float64 `json:"fnom_ghz"`
+	FTurboGHz       float64 `json:"fturbo_ghz"`
+	PStateStepMHz   float64 `json:"pstate_step_mhz"`
+	TDPWatts        float64 `json:"tdp_w"`
+	DramTDPWatts    float64 `json:"dram_tdp_w"`
+	CeilingWatts    float64 `json:"uncapped_ceiling_w"`
+	IdleWatts       float64 `json:"idle_w"`
+	CliffExponent   float64 `json:"cliff_exponent"`
+	MemBWGBs        float64 `json:"mem_bw_gbs"`
+	Nodes           int     `json:"nodes"`
+	ProcsPerNode    int     `json:"procs_per_node"`
+	MemoryPerNodeGB int     `json:"memory_per_node_gb"`
+	Measurement     string  `json:"measurement"`
+	ModulesPerBoard int     `json:"modules_per_board,omitempty"`
+	BoardSigma      float64 `json:"board_factor_sigma,omitempty"`
+
+	Variation VariationJSON `json:"variation"`
+}
+
+// VariationJSON is the on-disk form of a variability.Profile.
+type VariationJSON struct {
+	LeakSigma     float64 `json:"leak_sigma"`
+	DynSigma      float64 `json:"dyn_sigma"`
+	DramSigma     float64 `json:"dram_sigma"`
+	TurboSpread   float64 `json:"turbo_spread,omitempty"`
+	TurboLeakCorr float64 `json:"turbo_leak_corr,omitempty"`
+}
+
+// FromSpec converts a cluster.Spec for serialisation.
+func FromSpec(s cluster.Spec) SystemJSON {
+	a := s.Arch
+	return SystemJSON{
+		Name: s.Name, Site: s.Site,
+		ArchName: a.Name, Vendor: a.Vendor, CoresPerProc: a.CoresPer,
+		FMinGHz: a.FMin.GHz(), FNomGHz: a.FNom.GHz(), FTurboGHz: a.FTurbo.GHz(),
+		PStateStepMHz: a.PStateStep.MHz(),
+		TDPWatts:      float64(a.TDP), DramTDPWatts: float64(a.DramTDP),
+		CeilingWatts: float64(a.UncappedCeiling), IdleWatts: float64(a.IdlePower),
+		CliffExponent: a.CliffExponent, MemBWGBs: a.MemBW / 1e9,
+		Nodes: s.Nodes, ProcsPerNode: s.ProcsPerNode, MemoryPerNodeGB: s.MemoryPerNodeGB,
+		Measurement: string(s.Measurement), ModulesPerBoard: s.ModulesPerBoard,
+		BoardSigma: s.BoardFactorSigma,
+		Variation: VariationJSON{
+			LeakSigma: a.Variation.LeakSigma, DynSigma: a.Variation.DynSigma,
+			DramSigma: a.Variation.DramSigma, TurboSpread: a.Variation.TurboSpread,
+			TurboLeakCorr: a.Variation.TurboLeakCorr,
+		},
+	}
+}
+
+// Spec converts back to a validated cluster.Spec.
+func (j SystemJSON) Spec() (cluster.Spec, error) {
+	spec := cluster.Spec{
+		Name: j.Name, Site: j.Site,
+		Arch: &module.Arch{
+			Name: j.ArchName, Vendor: j.Vendor, CoresPer: j.CoresPerProc,
+			FMin: units.GHz(j.FMinGHz), FNom: units.GHz(j.FNomGHz), FTurbo: units.GHz(j.FTurboGHz),
+			PStateStep:      units.MHz(j.PStateStepMHz),
+			TDP:             units.Watts(j.TDPWatts),
+			DramTDP:         units.Watts(j.DramTDPWatts),
+			UncappedCeiling: units.Watts(j.CeilingWatts),
+			IdlePower:       units.Watts(j.IdleWatts),
+			CliffExponent:   j.CliffExponent,
+			MemBW:           j.MemBWGBs * 1e9,
+			Variation: variability.Profile{
+				LeakSigma: j.Variation.LeakSigma, DynSigma: j.Variation.DynSigma,
+				DramSigma: j.Variation.DramSigma, TurboSpread: j.Variation.TurboSpread,
+				TurboLeakCorr: j.Variation.TurboLeakCorr,
+			},
+		},
+		Nodes: j.Nodes, ProcsPerNode: j.ProcsPerNode, MemoryPerNodeGB: j.MemoryPerNodeGB,
+		Measurement:      cluster.Measurement(j.Measurement),
+		ModulesPerBoard:  j.ModulesPerBoard,
+		BoardFactorSigma: j.BoardSigma,
+	}
+	if spec.ModulesPerBoard == 0 {
+		spec.ModulesPerBoard = 1
+	}
+	switch spec.Measurement {
+	case cluster.MeasureRAPL, cluster.MeasurePI, cluster.MeasureEMON:
+	default:
+		return cluster.Spec{}, fmt.Errorf("config: unknown measurement technique %q", j.Measurement)
+	}
+	if spec.Nodes < 1 || spec.ProcsPerNode < 1 {
+		return cluster.Spec{}, fmt.Errorf("config: system %q has no modules", j.Name)
+	}
+	if err := spec.Arch.Validate(); err != nil {
+		return cluster.Spec{}, err
+	}
+	return spec, nil
+}
+
+// SaveSystem writes a spec as indented JSON.
+func SaveSystem(w io.Writer, s cluster.Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromSpec(s))
+}
+
+// LoadSystem reads and validates a spec.
+func LoadSystem(r io.Reader) (cluster.Spec, error) {
+	var j SystemJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return cluster.Spec{}, fmt.Errorf("config: load system: %w", err)
+	}
+	return j.Spec()
+}
+
+// BenchmarkJSON is the on-disk form of a workload.Benchmark.
+type BenchmarkJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	DynPowerW     float64 `json:"dyn_power_w"`
+	StaticPowerW  float64 `json:"static_power_w"`
+	DramBaseW     float64 `json:"dram_base_w"`
+	DramDynW      float64 `json:"dram_dyn_w"`
+	ResidualSigma float64 `json:"residual_sigma"`
+
+	Iterations     int     `json:"iterations"`
+	CyclesPerIter  float64 `json:"cycles_per_iter"`
+	BytesPerIter   float64 `json:"bytes_per_iter"`
+	Comm           string  `json:"comm"` // none, halo-3d, allreduce, final-reduce
+	MsgBytes       float64 `json:"msg_bytes,omitempty"`
+	ImbalanceSigma float64 `json:"imbalance_sigma,omitempty"`
+}
+
+// FromBenchmark converts a workload.Benchmark for serialisation.
+func FromBenchmark(b *workload.Benchmark) BenchmarkJSON {
+	return BenchmarkJSON{
+		Name: b.Name, Description: b.Description,
+		DynPowerW:     float64(b.Profile.DynPower),
+		StaticPowerW:  float64(b.Profile.StaticPower),
+		DramBaseW:     float64(b.Profile.DramBase),
+		DramDynW:      float64(b.Profile.DramDyn),
+		ResidualSigma: b.Profile.ResidualSigma,
+		Iterations:    b.Iterations,
+		CyclesPerIter: b.CyclesPerIter, BytesPerIter: b.BytesPerIter,
+		Comm: b.Comm.String(), MsgBytes: b.MsgBytes, ImbalanceSigma: b.ImbalanceSigma,
+	}
+}
+
+// Benchmark converts back to a validated workload.Benchmark.
+func (j BenchmarkJSON) Benchmark() (*workload.Benchmark, error) {
+	var comm workload.CommPattern
+	switch j.Comm {
+	case "none", "":
+		comm = workload.CommNone
+	case "halo-3d":
+		comm = workload.CommHalo3D
+	case "allreduce":
+		comm = workload.CommAllreduce
+	case "final-reduce":
+		comm = workload.CommFinalReduce
+	default:
+		return nil, fmt.Errorf("config: unknown comm pattern %q", j.Comm)
+	}
+	b := &workload.Benchmark{
+		Name: j.Name, Description: j.Description,
+		Profile: module.PowerProfile{
+			Workload:      j.Name,
+			DynPower:      units.Watts(j.DynPowerW),
+			StaticPower:   units.Watts(j.StaticPowerW),
+			DramBase:      units.Watts(j.DramBaseW),
+			DramDyn:       units.Watts(j.DramDynW),
+			ResidualSigma: j.ResidualSigma,
+		},
+		Iterations:     j.Iterations,
+		CyclesPerIter:  j.CyclesPerIter,
+		BytesPerIter:   j.BytesPerIter,
+		Comm:           comm,
+		MsgBytes:       j.MsgBytes,
+		ImbalanceSigma: j.ImbalanceSigma,
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SaveBenchmarks writes a suite as indented JSON.
+func SaveBenchmarks(w io.Writer, benches []*workload.Benchmark) error {
+	out := make([]BenchmarkJSON, len(benches))
+	for i, b := range benches {
+		out[i] = FromBenchmark(b)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadBenchmarks reads and validates a suite.
+func LoadBenchmarks(r io.Reader) ([]*workload.Benchmark, error) {
+	var js []BenchmarkJSON
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("config: load benchmarks: %w", err)
+	}
+	if len(js) == 0 {
+		return nil, fmt.Errorf("config: empty benchmark suite")
+	}
+	out := make([]*workload.Benchmark, len(js))
+	for i, j := range js {
+		b, err := j.Benchmark()
+		if err != nil {
+			return nil, fmt.Errorf("config: benchmark %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}

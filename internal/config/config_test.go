@@ -1,0 +1,101 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/workload"
+)
+
+func TestSystemRoundTrip(t *testing.T) {
+	for _, spec := range cluster.Presets() {
+		var buf bytes.Buffer
+		if err := SaveSystem(&buf, spec); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadSystem(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if back.Name != spec.Name || back.Nodes != spec.Nodes ||
+			back.Measurement != spec.Measurement {
+			t.Fatalf("%s: top-level fields lost", spec.Name)
+		}
+		if back.Arch.TDP != spec.Arch.TDP || back.Arch.FNom != spec.Arch.FNom ||
+			back.Arch.CliffExponent != spec.Arch.CliffExponent {
+			t.Fatalf("%s: arch fields lost", spec.Name)
+		}
+		if back.Arch.Variation != spec.Arch.Variation {
+			t.Fatalf("%s: variation profile lost", spec.Name)
+		}
+		// The round-tripped system must instantiate identically.
+		a := cluster.MustNew(spec, 4, 9).Module(2).Factors()
+		b := cluster.MustNew(back, 4, 9).Module(2).Factors()
+		if a != b {
+			t.Fatalf("%s: round trip changed the drawn machine", spec.Name)
+		}
+	}
+}
+
+func TestLoadSystemRejectsBad(t *testing.T) {
+	good := FromSpec(cluster.HA8K())
+	cases := []func(*SystemJSON){
+		func(j *SystemJSON) { j.Measurement = "thermometer" },
+		func(j *SystemJSON) { j.Nodes = 0 },
+		func(j *SystemJSON) { j.FMinGHz = 0 },
+		func(j *SystemJSON) { j.TDPWatts = 0 },
+		func(j *SystemJSON) { j.CliffExponent = 0.1 },
+		func(j *SystemJSON) { j.Variation.LeakSigma = -1 },
+	}
+	for i, mutate := range cases {
+		j := good
+		mutate(&j)
+		if _, err := j.Spec(); err == nil {
+			t.Errorf("bad system %d accepted", i)
+		}
+	}
+	if _, err := LoadSystem(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBenchmarkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBenchmarks(&buf, workload.All()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchmarks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(workload.All()) {
+		t.Fatalf("suite size %d", len(back))
+	}
+	for i, orig := range workload.All() {
+		b := back[i]
+		if b.Name != orig.Name || b.Comm != orig.Comm ||
+			b.Iterations != orig.Iterations ||
+			b.Profile != orig.Profile ||
+			b.CyclesPerIter != orig.CyclesPerIter ||
+			b.MsgBytes != orig.MsgBytes ||
+			b.ImbalanceSigma != orig.ImbalanceSigma {
+			t.Fatalf("%s changed in round trip:\n%+v\nvs\n%+v", orig.Name, b, orig)
+		}
+	}
+}
+
+func TestLoadBenchmarksRejectsBad(t *testing.T) {
+	cases := []string{
+		"not json",
+		"[]",
+		`[{"name":"x","comm":"carrier-pigeon","iterations":1,"cycles_per_iter":1,"dyn_power_w":1}]`,
+		`[{"name":"x","comm":"none","iterations":0,"cycles_per_iter":1,"dyn_power_w":1}]`,
+	}
+	for i, c := range cases {
+		if _, err := LoadBenchmarks(strings.NewReader(c)); err == nil {
+			t.Errorf("bad suite %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"varpower/internal/hw/module"
+	"varpower/internal/units"
+)
+
+// ModuleAlloc is the power allocation derived for one module (Equations
+// 7–9): its module budget, the DRAM power predicted at the chosen operating
+// point, and the CPU cap that realises the budget.
+type ModuleAlloc struct {
+	ModuleID int
+	Pmodule  units.Watts
+	Pdram    units.Watts
+	Pcpu     units.Watts
+}
+
+// Allocation is the output of the budgeting algorithm for one application
+// under one power constraint.
+type Allocation struct {
+	// Alpha is the application-wide power-performance coefficient
+	// (Equation 6), clamped to [0, 1]. Alpha is common to all modules so
+	// that they all target the same frequency — that is the homogeneity
+	// mechanism.
+	Alpha float64
+	// Freq is the common target CPU frequency f = α(fmax−fmin)+fmin
+	// (Equation 1).
+	Freq units.Hertz
+	// Feasible is false when even α = 0 (every module at fmin) exceeds the
+	// budget by more than the best-effort margin — the paper's "–"
+	// scenarios.
+	Feasible bool
+	// Clamped reports best-effort admission: the model predicted that even
+	// fmin operation slightly exceeds the budget (α would be negative), so
+	// α was clamped to 0 and the per-module allocations scaled down
+	// proportionally to fit. This happens at boundary budgets when the
+	// calibrated model over-predicts power; the modules then run at (or
+	// just below) fmin.
+	Clamped bool
+	// Constrained is false when α = 1 satisfies the budget with slack,
+	// i.e. no capping below fmax is needed.
+	Constrained bool
+	// Entries are the per-module allocations.
+	Entries []ModuleAlloc
+	// Budget echoes the application-level power constraint.
+	Budget units.Watts
+}
+
+// TotalPredicted sums the per-module allocations — by construction ≤ Budget
+// whenever Feasible.
+func (a *Allocation) TotalPredicted() units.Watts {
+	var sum units.Watts
+	for _, e := range a.Entries {
+		sum += e.Pmodule
+	}
+	return sum
+}
+
+// CPUCaps returns the per-module CPU caps in entry order, ready for the PC
+// implementation.
+func (a *Allocation) CPUCaps() []units.Watts {
+	caps := make([]units.Watts, len(a.Entries))
+	for i, e := range a.Entries {
+		caps[i] = e.Pcpu
+	}
+	return caps
+}
+
+// Solve runs the variation-aware budgeting algorithm (Section 5.1): choose
+// the maximum α with
+//
+//	Σᵢ ( α·(Pmodule_max,i − Pmodule_min,i) + Pmodule_min,i ) ≤ budget
+//
+// then derive each module's allocation at that α. The arch parameter
+// supplies the frequency range for Equation 1.
+func Solve(pmt *PMT, arch *module.Arch, budget units.Watts) (*Allocation, error) {
+	if len(pmt.Entries) == 0 {
+		return nil, fmt.Errorf("core: solve on empty PMT")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %v", budget)
+	}
+	var sumMin, sumRange float64
+	for _, e := range pmt.Entries {
+		min := float64(e.ModuleMin())
+		max := float64(e.ModuleMax())
+		if min < 0 || max < min {
+			return nil, fmt.Errorf("core: module %d has inverted power range [%v, %v]", e.ModuleID, min, max)
+		}
+		sumMin += min
+		sumRange += max - min
+	}
+
+	// bestEffortMargin bounds how far below the predicted fmin power a
+	// budget may fall and still be admitted (with proportionally shrunk
+	// caps). Beyond it the job is declared infeasible.
+	const bestEffortMargin = 0.85
+
+	alloc := &Allocation{Budget: budget, Feasible: true, Constrained: true}
+	shrink := 1.0
+	switch {
+	case float64(budget) < sumMin:
+		// Even fmin everywhere exceeds the predicted budget.
+		alloc.Alpha = 0
+		alloc.Clamped = true
+		shrink = float64(budget) / sumMin
+		if shrink < bestEffortMargin {
+			alloc.Feasible = false
+		}
+	case sumRange == 0:
+		alloc.Alpha = 1
+		alloc.Constrained = false
+	default:
+		alpha := (float64(budget) - sumMin) / sumRange
+		if alpha >= 1 {
+			alpha = 1
+			alloc.Constrained = false
+		}
+		alloc.Alpha = alpha
+	}
+
+	alloc.Freq = units.Hertz(units.Lerp(float64(arch.FMin), float64(arch.FNom), alloc.Alpha))
+	alloc.Entries = make([]ModuleAlloc, len(pmt.Entries))
+	for i, e := range pmt.Entries {
+		pm := units.Watts(units.Lerp(float64(e.ModuleMin()), float64(e.ModuleMax()), alloc.Alpha) * shrink)
+		pd := units.Watts(units.Lerp(float64(e.DramMin), float64(e.DramMax), alloc.Alpha) * shrink)
+		alloc.Entries[i] = ModuleAlloc{
+			ModuleID: e.ModuleID,
+			Pmodule:  pm,
+			Pdram:    pd,
+			Pcpu:     pm - pd,
+		}
+	}
+	return alloc, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varpower/internal/cluster"
+	"varpower/internal/units"
+	"varpower/internal/xrand"
+)
+
+func testArchForBudget() *cluster.Spec {
+	s := cluster.HA8K()
+	return &s
+}
+
+// randomPMT builds a PMT with plausible per-module spreads.
+func randomPMT(seed uint64, n int) *PMT {
+	rng := xrand.New(seed)
+	pmt := &PMT{Workload: "rand", Entries: make([]PMTEntry, n)}
+	for i := range pmt.Entries {
+		cpuMin := rng.Uniform(30, 60)
+		cpuMax := cpuMin + rng.Uniform(20, 70)
+		dramMin := rng.Uniform(5, 20)
+		dramMax := dramMin + rng.Uniform(0, 10)
+		pmt.Entries[i] = PMTEntry{
+			ModuleID: i,
+			CPUMax:   units.Watts(cpuMax), DramMax: units.Watts(dramMax),
+			CPUMin: units.Watts(cpuMin), DramMin: units.Watts(dramMin),
+		}
+	}
+	return pmt
+}
+
+func TestSolveBudgetNeverExceeded(t *testing.T) {
+	arch := testArchForBudget().Arch
+	f := func(seed uint64, budgetRaw float64) bool {
+		pmt := randomPMT(seed, 16)
+		budget := units.Watts(200 + math.Mod(math.Abs(budgetRaw), 2500))
+		alloc, err := Solve(pmt, arch, budget)
+		if err != nil {
+			return false
+		}
+		if !alloc.Feasible {
+			return true
+		}
+		// The solver's own prediction must respect the budget, except in
+		// the unconstrained case where the natural draw is below it.
+		if alloc.Constrained && float64(alloc.TotalPredicted()) > float64(budget)*(1+1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAlphaMonotoneInBudget(t *testing.T) {
+	arch := testArchForBudget().Arch
+	pmt := randomPMT(1, 32)
+	prev := -1.0
+	for b := 500.0; b <= 6000; b += 250 {
+		alloc, err := Solve(pmt, arch, units.Watts(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Alpha < prev {
+			t.Fatalf("alpha decreased as budget grew: %v after %v", alloc.Alpha, prev)
+		}
+		prev = alloc.Alpha
+	}
+}
+
+func TestSolveUnconstrained(t *testing.T) {
+	arch := testArchForBudget().Arch
+	pmt := randomPMT(2, 8)
+	alloc, err := Solve(pmt, arch, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Alpha != 1 || alloc.Constrained {
+		t.Fatalf("huge budget: alpha=%v constrained=%v", alloc.Alpha, alloc.Constrained)
+	}
+	if alloc.Freq != arch.FNom {
+		t.Fatalf("alpha=1 frequency %v, want fnom", alloc.Freq)
+	}
+	for i, e := range alloc.Entries {
+		if math.Abs(float64(e.Pmodule-pmt.Entries[i].ModuleMax())) > 1e-9 {
+			t.Fatalf("alpha=1 allocation %v != ModuleMax %v", e.Pmodule, pmt.Entries[i].ModuleMax())
+		}
+	}
+}
+
+func TestSolveClampedBestEffort(t *testing.T) {
+	arch := testArchForBudget().Arch
+	pmt := randomPMT(3, 8)
+	var sumMin float64
+	for _, e := range pmt.Entries {
+		sumMin += float64(e.ModuleMin())
+	}
+	// Budget 5% below the fmin sum: best-effort admission.
+	alloc, err := Solve(pmt, arch, units.Watts(sumMin*0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Feasible || !alloc.Clamped || alloc.Alpha != 0 {
+		t.Fatalf("best-effort case: %+v", alloc)
+	}
+	if math.Abs(float64(alloc.TotalPredicted())-sumMin*0.95) > 1e-6 {
+		t.Fatalf("clamped total %v, want exactly the budget %v", alloc.TotalPredicted(), sumMin*0.95)
+	}
+	// Budget 50% below: infeasible.
+	alloc, err = Solve(pmt, arch, units.Watts(sumMin*0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Feasible {
+		t.Fatal("half the fmin power accepted as feasible")
+	}
+}
+
+func TestSolveAllocationConsistency(t *testing.T) {
+	arch := testArchForBudget().Arch
+	f := func(seed uint64) bool {
+		pmt := randomPMT(seed, 12)
+		alloc, err := Solve(pmt, arch, 900)
+		if err != nil || !alloc.Feasible {
+			return err == nil
+		}
+		for i, e := range alloc.Entries {
+			// Pcpu + Pdram must recompose Pmodule (Equations 8–9).
+			if math.Abs(float64(e.Pcpu+e.Pdram-e.Pmodule)) > 1e-9 {
+				return false
+			}
+			// The allocation must equal the model evaluated at alpha.
+			want := units.Lerp(float64(pmt.Entries[i].ModuleMin()), float64(pmt.Entries[i].ModuleMax()), alloc.Alpha)
+			if !alloc.Clamped && math.Abs(float64(e.Pmodule)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveHigherVariationModulesGetMorePower(t *testing.T) {
+	// Variation awareness: a module with a hungrier curve receives a
+	// larger share at the same alpha.
+	arch := testArchForBudget().Arch
+	pmt := &PMT{Workload: "two", Entries: []PMTEntry{
+		{ModuleID: 0, CPUMax: 120, DramMax: 14, CPUMin: 55, DramMin: 11},
+		{ModuleID: 1, CPUMax: 90, DramMax: 10, CPUMin: 45, DramMin: 9},
+	}}
+	alloc, err := Solve(pmt, arch, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Entries[0].Pmodule <= alloc.Entries[1].Pmodule {
+		t.Fatalf("hungry module got %v, efficient module got %v",
+			alloc.Entries[0].Pmodule, alloc.Entries[1].Pmodule)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	arch := testArchForBudget().Arch
+	if _, err := Solve(&PMT{}, arch, 100); err == nil {
+		t.Error("empty PMT accepted")
+	}
+	if _, err := Solve(randomPMT(1, 4), arch, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad := randomPMT(1, 4)
+	bad.Entries[2].CPUMax = 1 // max below min
+	if _, err := Solve(bad, arch, 500); err == nil {
+		t.Error("inverted power range accepted")
+	}
+}
+
+func TestCPUCapsOrder(t *testing.T) {
+	arch := testArchForBudget().Arch
+	pmt := randomPMT(4, 6)
+	alloc, err := Solve(pmt, arch, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := alloc.CPUCaps()
+	if len(caps) != 6 {
+		t.Fatalf("caps length %d", len(caps))
+	}
+	for i, c := range caps {
+		if c != alloc.Entries[i].Pcpu {
+			t.Fatalf("cap %d mismatch", i)
+		}
+	}
+}

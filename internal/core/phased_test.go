@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// twoPhases builds a compute-heavy phase followed by a memory-heavy phase
+// with very different power profiles.
+func twoPhases() []*workload.Benchmark {
+	a := workload.DGEMM()
+	a.Iterations = 10
+	b := workload.StarSTREAM()
+	b.Iterations = 15
+	return []*workload.Benchmark{a, b}
+}
+
+func TestPhasedAdaptiveRespectsBudgetEveryPhase(t *testing.T) {
+	fw, ids := testFramework(t, 64)
+	budget := units.Watts(64 * 85)
+	res, err := fw.RunPhasedAdaptive(twoPhases(), ids, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases %d", len(res.Phases))
+	}
+	if res.MaxPower > budget {
+		t.Fatalf("adaptive phased run peaked at %v over budget %v", res.MaxPower, budget)
+	}
+	// The two phases must receive different alphas: their power profiles
+	// differ substantially.
+	if res.Phases[0].Alpha == res.Phases[1].Alpha {
+		t.Fatal("adaptive planner reused one alpha for heterogeneous phases")
+	}
+}
+
+func TestPhasedStaticViolatesOnHungryToLight(t *testing.T) {
+	// Calibrating on the CPU-hungry *DGEMM phase derives generous CPU caps
+	// with a small DRAM prediction; when the DRAM-heavy *STREAM phase
+	// follows under those stale caps, total module power blows through the
+	// budget — the phased analogue of Naive's *STREAM violation in
+	// Figure 9. The adaptive planner re-solves and adheres.
+	fw, ids := testFramework(t, 64)
+	budget := units.Watts(64 * 85)
+	static, err := fw.RunPhasedStatic(twoPhases(), ids, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := fw.RunPhasedAdaptive(twoPhases(), ids, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.MaxPower <= budget {
+		t.Fatalf("static phased run unexpectedly adhered (%v ≤ %v); the stale-cap hazard vanished",
+			static.MaxPower, budget)
+	}
+	if adaptive.MaxPower > budget {
+		t.Fatalf("adaptive phased run violated the budget: %v > %v", adaptive.MaxPower, budget)
+	}
+}
+
+func TestPhasedAdaptiveFasterOnLightToHungry(t *testing.T) {
+	// In the reverse order the stale caps are *too tight*: the memory-
+	// bound phase's small alpha strangles the compute phase. Adaptive
+	// planning re-opens the caps and wins outright, while both orders of
+	// both planners keep DRAM-light phases inside the budget.
+	fw, ids := testFramework(t, 64)
+	budget := units.Watts(64 * 85)
+	phases := twoPhases()
+	phases[0], phases[1] = phases[1], phases[0] // *STREAM first, *DGEMM second
+
+	static, err := fw.RunPhasedStatic(phases, ids, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := fw.RunPhasedAdaptive(phases, ids, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Phases[1].Elapsed >= static.Phases[1].Elapsed {
+		t.Fatalf("adaptive compute phase (%v) not faster than static (%v)",
+			adaptive.Phases[1].Elapsed, static.Phases[1].Elapsed)
+	}
+	if adaptive.Elapsed >= static.Elapsed {
+		t.Fatalf("adaptive total (%v) not below static (%v)", adaptive.Elapsed, static.Elapsed)
+	}
+	if adaptive.MaxPower > budget {
+		t.Fatalf("adaptive violated the budget: %v > %v", adaptive.MaxPower, budget)
+	}
+}
+
+func TestPhasedFS(t *testing.T) {
+	fw, ids := testFramework(t, 32)
+	res, err := fw.RunPhasedAdaptive(twoPhases(), ids, units.Watts(32*85), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	fw, ids := testFramework(t, 8)
+	if _, err := fw.RunPhasedAdaptive(nil, ids, 8*85, false); err == nil {
+		t.Error("empty phase list accepted")
+	}
+	if _, err := fw.RunPhasedAdaptive([]*workload.Benchmark{nil}, ids, 8*85, false); err == nil {
+		t.Error("nil phase accepted")
+	}
+	bad := workload.DGEMM()
+	bad.Iterations = 0
+	if _, err := fw.RunPhasedStatic([]*workload.Benchmark{bad}, ids, 8*85, false); err == nil {
+		t.Error("invalid phase accepted")
+	}
+	if _, err := fw.RunPhasedStatic(twoPhases(), ids, 8*20, false); err == nil {
+		t.Error("infeasible phased budget accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"varpower/internal/workload"
+)
+
+// DirectiveKind distinguishes the two Power Measurement and Management
+// Directives the paper inserts with TAU's compiler instrumentation
+// (Section 5, step 1).
+type DirectiveKind int
+
+// Directive kinds.
+const (
+	// RegionBegin marks the start of the measured/managed region — placed
+	// immediately after MPI_Init.
+	RegionBegin DirectiveKind = iota
+	// RegionEnd marks its end — placed immediately before MPI_Finalize.
+	RegionEnd
+)
+
+// String names the directive kind.
+func (k DirectiveKind) String() string {
+	switch k {
+	case RegionBegin:
+		return "PMMD_BEGIN(after MPI_Init)"
+	case RegionEnd:
+		return "PMMD_END(before MPI_Finalize)"
+	default:
+		return fmt.Sprintf("DirectiveKind(%d)", int(k))
+	}
+}
+
+// Directive is one inserted PMMD.
+type Directive struct {
+	Kind DirectiveKind
+	// Anchor describes the source location the directive was attached to.
+	Anchor string
+}
+
+// Instrumented is an application with its PMMDs inserted: the unit the rest
+// of the framework (test runs, budgeting, final runs) operates on. In this
+// reproduction the whole simulated program lies inside the region, so the
+// instrumented form carries the benchmark unchanged plus the directive
+// record.
+type Instrumented struct {
+	Bench      *workload.Benchmark
+	Directives []Directive
+}
+
+// Instrument performs step 1 of the framework: source analysis inserting
+// PMMDs around the region of interest.
+func Instrument(bench *workload.Benchmark) (*Instrumented, error) {
+	if bench == nil {
+		return nil, fmt.Errorf("core: instrument nil benchmark")
+	}
+	if err := bench.Validate(); err != nil {
+		return nil, fmt.Errorf("core: instrument: %w", err)
+	}
+	return &Instrumented{
+		Bench: bench,
+		Directives: []Directive{
+			{Kind: RegionBegin, Anchor: "MPI_Init"},
+			{Kind: RegionEnd, Anchor: "MPI_Finalize"},
+		},
+	}, nil
+}
+
+// Validate checks that the directive structure is a properly paired region.
+func (in *Instrumented) Validate() error {
+	if len(in.Directives) != 2 ||
+		in.Directives[0].Kind != RegionBegin ||
+		in.Directives[1].Kind != RegionEnd {
+		return fmt.Errorf("core: malformed PMMD region %+v", in.Directives)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package core implements the paper's contribution: variation-aware power
+// budgeting (Section 5). The pipeline, mirroring Figure 4:
+//
+//  1. a Power Variation Table (PVT) is generated once per system by running
+//     a microbenchmark (*STREAM) on every module at the maximum and minimum
+//     CPU frequencies (pvt.go);
+//  2. a new application is instrumented with power measurement and
+//     management directives (pmmd.go) and test-run on a single module at
+//     fmax and fmin (runner.go);
+//  3. the test measurements are calibrated against the PVT into an
+//     application-dependent Power Model Table (PMT) covering all modules
+//     (pmt.go);
+//  4. a single application-wide coefficient α is chosen so the summed
+//     per-module linear power models meet the global budget, and each
+//     module receives its own allocation (budget.go, Equations 1–9);
+//  5. the allocation is enforced by RAPL power capping (PC) or frequency
+//     selection (FS) for the final run (schemes.go, runner.go).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"varpower/internal/cluster"
+	"varpower/internal/measure"
+	"varpower/internal/workload"
+)
+
+// PVTEntry stores one module's variation scales: its measured power divided
+// by the system-wide average, for CPU and DRAM at the maximum and minimum
+// CPU frequencies (the paper's Figure 6, left table).
+type PVTEntry struct {
+	ModuleID int     `json:"module"`
+	CPUMax   float64 `json:"cpu_max"`
+	DramMax  float64 `json:"dram_max"`
+	CPUMin   float64 `json:"cpu_min"`
+	DramMin  float64 `json:"dram_min"`
+}
+
+// PVT is the application-independent, system-level Power Variation Table.
+// It is generated once, when the system is installed, and reused for every
+// application (Section 5.2).
+type PVT struct {
+	System         string     `json:"system"`
+	Microbenchmark string     `json:"microbenchmark"`
+	Entries        []PVTEntry `json:"entries"`
+}
+
+// Entry returns the scales for a module ID.
+func (p *PVT) Entry(moduleID int) (PVTEntry, error) {
+	if moduleID < 0 || moduleID >= len(p.Entries) {
+		return PVTEntry{}, fmt.Errorf("core: module %d not in PVT (%d entries)", moduleID, len(p.Entries))
+	}
+	e := p.Entries[moduleID]
+	if e.ModuleID != moduleID {
+		// Defensive: entries are indexed by ID at generation time.
+		for _, cand := range p.Entries {
+			if cand.ModuleID == moduleID {
+				return cand, nil
+			}
+		}
+		return PVTEntry{}, fmt.Errorf("core: module %d missing from PVT", moduleID)
+	}
+	return e, nil
+}
+
+// GeneratePVT builds the table by test-running the microbenchmark on every
+// module of the system at fmax (nominal) and fmin, then normalising each
+// measurement by the population average. This is the install-time step; its
+// cost never recurs during budgeting.
+func GeneratePVT(sys *cluster.System, micro *workload.Benchmark) (*PVT, error) {
+	if micro == nil {
+		micro = workload.PVTMicrobenchmark()
+	}
+	arch := sys.Spec.Arch
+	n := sys.NumModules()
+	type raw struct{ cpuMax, dramMax, cpuMin, dramMin float64 }
+	raws := make([]raw, n)
+	var sum raw
+	for id := 0; id < n; id++ {
+		hi, err := measure.TestRun(sys, micro, id, arch.FNom)
+		if err != nil {
+			return nil, fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)
+		}
+		lo, err := measure.TestRun(sys, micro, id, arch.FMin)
+		if err != nil {
+			return nil, fmt.Errorf("core: PVT fmin run on module %d: %w", id, err)
+		}
+		raws[id] = raw{
+			cpuMax: float64(hi.CPUPower), dramMax: float64(hi.DramPower),
+			cpuMin: float64(lo.CPUPower), dramMin: float64(lo.DramPower),
+		}
+		sum.cpuMax += raws[id].cpuMax
+		sum.dramMax += raws[id].dramMax
+		sum.cpuMin += raws[id].cpuMin
+		sum.dramMin += raws[id].dramMin
+	}
+	avg := raw{
+		cpuMax: sum.cpuMax / float64(n), dramMax: sum.dramMax / float64(n),
+		cpuMin: sum.cpuMin / float64(n), dramMin: sum.dramMin / float64(n),
+	}
+	if avg.cpuMax == 0 || avg.cpuMin == 0 || avg.dramMax == 0 || avg.dramMin == 0 {
+		return nil, fmt.Errorf("core: PVT generation measured zero average power")
+	}
+	pvt := &PVT{System: sys.Spec.Name, Microbenchmark: micro.Name, Entries: make([]PVTEntry, n)}
+	for id := 0; id < n; id++ {
+		pvt.Entries[id] = PVTEntry{
+			ModuleID: id,
+			CPUMax:   raws[id].cpuMax / avg.cpuMax,
+			DramMax:  raws[id].dramMax / avg.dramMax,
+			CPUMin:   raws[id].cpuMin / avg.cpuMin,
+			DramMin:  raws[id].dramMin / avg.dramMin,
+		}
+	}
+	return pvt, nil
+}
+
+// Save serialises the PVT as JSON (the on-disk form a production system
+// would keep from install time).
+func (p *PVT) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadPVT deserialises a PVT written by Save and validates its shape.
+func LoadPVT(r io.Reader) (*PVT, error) {
+	var p PVT
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: load PVT: %w", err)
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("core: load PVT: no entries")
+	}
+	for i, e := range p.Entries {
+		if e.CPUMax <= 0 || e.CPUMin <= 0 || e.DramMax <= 0 || e.DramMin <= 0 {
+			return nil, fmt.Errorf("core: load PVT: non-positive scale in entry %d", i)
+		}
+	}
+	return &p, nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"varpower/internal/cluster"
+	"varpower/internal/measure"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// Framework is the end-to-end variation-aware power budgeting pipeline of
+// the paper's Figure 4, bound to one system and its install-time PVT.
+type Framework struct {
+	Sys *cluster.System
+	PVT *PVT
+}
+
+// NewFramework instantiates the framework, generating the system's PVT with
+// the given microbenchmark (nil selects the paper's choice, *STREAM).
+func NewFramework(sys *cluster.System, micro *workload.Benchmark) (*Framework, error) {
+	pvt, err := GeneratePVT(sys, micro)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{Sys: sys, PVT: pvt}, nil
+}
+
+// NewFrameworkWithPVT binds a previously generated (e.g. loaded) PVT.
+func NewFrameworkWithPVT(sys *cluster.System, pvt *PVT) (*Framework, error) {
+	if pvt == nil || len(pvt.Entries) == 0 {
+		return nil, fmt.Errorf("core: framework needs a non-empty PVT")
+	}
+	if pvt.System != sys.Spec.Name {
+		return nil, fmt.Errorf("core: PVT is for %q, system is %q", pvt.System, sys.Spec.Name)
+	}
+	return &Framework{Sys: sys, PVT: pvt}, nil
+}
+
+// BuildPMT constructs the scheme's power model for the allocated modules:
+//
+//   - Naive: TDP-based constants, no measurement at all;
+//   - Pc: single-module test runs calibrated through the PVT, then averaged
+//     so every module is treated identically (application-aware,
+//     variation-unaware);
+//   - VaPc / VaFs: single-module test runs calibrated through the PVT
+//     (Section 5.2);
+//   - VaPcOr / VaFsOr: oracle measurement of every module.
+//
+// The test module for calibrated schemes is drawn from the job's own
+// allocation, as in the paper; see testModuleFor for how it is chosen.
+func (fw *Framework) BuildPMT(bench *workload.Benchmark, moduleIDs []int, scheme Scheme) (*PMT, error) {
+	if len(moduleIDs) == 0 {
+		return nil, fmt.Errorf("core: empty module allocation")
+	}
+	switch scheme {
+	case Naive:
+		return NaivePMT(fw.Sys, moduleIDs), nil
+	case Pc:
+		// The paper's Pc uses "the application-specific average values
+		// across all modules" — an all-module measurement averaged into a
+		// uniform table, not the single-module calibration.
+		pmt, err := OraclePMT(fw.Sys, bench, moduleIDs)
+		if err != nil {
+			return nil, err
+		}
+		return pmt.Uniform(), nil
+	case VaPc, VaFs:
+		return fw.calibrated(bench, moduleIDs)
+	case VaPcOr, VaFsOr:
+		return OraclePMT(fw.Sys, bench, moduleIDs)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
+	}
+}
+
+func (fw *Framework) calibrated(bench *workload.Benchmark, moduleIDs []int) (*PMT, error) {
+	pair, err := RunTestPair(fw.Sys, bench, fw.testModuleFor(moduleIDs))
+	if err != nil {
+		return nil, err
+	}
+	return Calibrate(fw.PVT, pair, bench, moduleIDs)
+}
+
+// fsMargin measures the calibrated model's relative prediction error on a
+// held-out module (the allocated module ranked second-closest to the PVT
+// mean) and returns it, clamped to [0.005, 0.08], as the fractional budget
+// reserve for frequency selection.
+func (fw *Framework) fsMargin(pmt *PMT, bench *workload.Benchmark, moduleIDs []int) (float64, error) {
+	holdout := fw.holdoutModuleFor(moduleIDs)
+	pair, err := RunTestPair(fw.Sys, bench, holdout)
+	if err != nil {
+		return 0, fmt.Errorf("core: FS margin holdout run: %w", err)
+	}
+	var pred *PMTEntry
+	for i := range pmt.Entries {
+		if pmt.Entries[i].ModuleID == holdout {
+			pred = &pmt.Entries[i]
+			break
+		}
+	}
+	if pred == nil {
+		return 0, fmt.Errorf("core: holdout module %d missing from PMT", holdout)
+	}
+	margin := holdoutError(*pred, TestPair{ModuleID: holdout, AtMax: pair.AtMax, AtMin: pair.AtMin})
+	return units.Clamp(margin, 0.005, 0.08), nil
+}
+
+// holdoutModuleFor returns the allocated module ranked second-closest to
+// the PVT population mean (the closest hosts the calibration test runs).
+func (fw *Framework) holdoutModuleFor(moduleIDs []int) int {
+	test := fw.testModuleFor(moduleIDs)
+	best := moduleIDs[0]
+	if best == test && len(moduleIDs) > 1 {
+		best = moduleIDs[1]
+	}
+	bestDev := math.Inf(1)
+	for _, id := range moduleIDs {
+		if id == test {
+			continue
+		}
+		e, err := fw.PVT.Entry(id)
+		if err != nil {
+			continue
+		}
+		dev := math.Abs(e.CPUMax-1) + math.Abs(e.CPUMin-1) +
+			0.25*(math.Abs(e.DramMax-1)+math.Abs(e.DramMin-1))
+		if dev < bestDev {
+			bestDev = dev
+			best = id
+		}
+	}
+	return best
+}
+
+// testModuleFor picks which allocated module hosts the single-module test
+// runs: the one whose PVT scales lie closest to the population mean.
+//
+// Calibration divides the test measurement by the test module's scales, so
+// any idiosyncrasy of that one module (an extreme leakage/dynamic mix, a
+// large workload residual) biases the whole table — and through α, the
+// power of *every* module of an FS run. An average module has the least
+// leverage; the PVT, which the system already has, identifies it for free.
+func (fw *Framework) testModuleFor(moduleIDs []int) int {
+	best := moduleIDs[0]
+	bestDev := math.Inf(1)
+	for _, id := range moduleIDs {
+		e, err := fw.PVT.Entry(id)
+		if err != nil {
+			continue
+		}
+		dev := math.Abs(e.CPUMax-1) + math.Abs(e.CPUMin-1) +
+			0.25*(math.Abs(e.DramMax-1)+math.Abs(e.DramMin-1))
+		if dev < bestDev {
+			bestDev = dev
+			best = id
+		}
+	}
+	return best
+}
+
+// SchemeRun is one complete scheme evaluation: the model, the allocation,
+// and the measured final run.
+type SchemeRun struct {
+	Scheme Scheme
+	Bench  string
+	Budget units.Watts
+	PMT    *PMT
+	Alloc  *Allocation
+	Result measure.Result
+}
+
+// Elapsed is the final run's application time.
+func (r *SchemeRun) Elapsed() units.Seconds { return r.Result.Elapsed }
+
+// ErrBudgetInfeasible reports that the budget cannot be met even at fmin.
+type ErrBudgetInfeasible struct {
+	Scheme Scheme
+	Budget units.Watts
+}
+
+// Error implements error.
+func (e ErrBudgetInfeasible) Error() string {
+	return fmt.Sprintf("core: budget %v infeasible under scheme %v (exceeds fmin power)", e.Budget, e.Scheme)
+}
+
+// Run executes the full pipeline for one (application, allocation, budget,
+// scheme) combination: instrument, test-run/calibrate per the scheme, solve
+// for α, enforce via PC or FS, and run the application.
+func (fw *Framework) Run(bench *workload.Benchmark, moduleIDs []int, budget units.Watts, scheme Scheme) (*SchemeRun, error) {
+	inst, err := Instrument(bench)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	pmt, err := fw.BuildPMT(bench, moduleIDs, scheme)
+	if err != nil {
+		return nil, err
+	}
+	solveBudget := budget
+	if scheme == VaFs {
+		// FS enforces a clock, not a power bound (Section 5.3's caveat),
+		// so a calibration under-estimate turns directly into a budget
+		// violation. Guard with a margin equal to the model's *measured*
+		// error on a held-out module — one extra cheap test pair.
+		margin, err := fw.fsMargin(pmt, bench, moduleIDs)
+		if err != nil {
+			return nil, err
+		}
+		solveBudget = units.Watts(float64(budget) * (1 - margin))
+	}
+	alloc, err := Solve(pmt, fw.Sys.Spec.Arch, solveBudget)
+	if err != nil {
+		return nil, err
+	}
+	alloc.Budget = budget
+	if !alloc.Feasible {
+		return nil, ErrBudgetInfeasible{Scheme: scheme, Budget: budget}
+	}
+	res, err := fw.Execute(bench, moduleIDs, alloc, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &SchemeRun{
+		Scheme: scheme, Bench: bench.Name, Budget: budget,
+		PMT: pmt, Alloc: alloc, Result: res,
+	}, nil
+}
+
+// Execute enforces an allocation and runs the application: PC schemes
+// program per-module RAPL caps (Equation 9's Pcpu_i); FS schemes pin every
+// module to the common α-derived frequency, quantised down to a real
+// P-state.
+func (fw *Framework) Execute(bench *workload.Benchmark, moduleIDs []int, alloc *Allocation, scheme Scheme) (measure.Result, error) {
+	if len(alloc.Entries) != len(moduleIDs) {
+		return measure.Result{}, fmt.Errorf("core: allocation covers %d modules, job has %d", len(alloc.Entries), len(moduleIDs))
+	}
+	cfg := measure.Config{Bench: bench, Modules: moduleIDs}
+	if scheme.UsesFS() {
+		f := fw.Sys.Spec.Arch.QuantizeDown(alloc.Freq)
+		cfg.Mode = measure.ModePinned
+		cfg.Freqs = make([]units.Hertz, len(moduleIDs))
+		for i := range cfg.Freqs {
+			cfg.Freqs[i] = f
+		}
+	} else {
+		caps := alloc.CPUCaps()
+		for i, c := range caps {
+			if c <= 0 {
+				return measure.Result{}, fmt.Errorf("core: non-positive CPU cap %v for module %d", c, alloc.Entries[i].ModuleID)
+			}
+		}
+		cfg.Mode = measure.ModeCapped
+		cfg.CPUCaps = caps
+	}
+	return measure.Run(fw.Sys, cfg)
+}

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varpower/internal/core"
+	"varpower/internal/units"
+)
+
+// smallOpts keeps the HA8K experiments fast while leaving the per-module
+// physics (and hence the feasibility boundaries) unchanged.
+func smallOpts() Options {
+	return Options{HA8KModules: 192, CabSockets: 300, VulcanBoards: 12, TellerSockets: 48}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.HA8KModules != 1920 || o.CabSockets != 2386 || o.VulcanBoards != 48 || o.TellerSockets != 64 {
+		t.Fatalf("paper-scale defaults wrong: %+v", o)
+	}
+	if o.Seed == 0 {
+		t.Fatal("default seed must be non-zero")
+	}
+	// Explicit values survive.
+	o = Options{HA8KModules: 7}.withDefaults()
+	if o.HA8KModules != 7 {
+		t.Fatal("explicit module count overridden")
+	}
+}
+
+func TestCsForScale(t *testing.T) {
+	if got := CsForScale(96e3, 1920); got != 96e3 {
+		t.Fatalf("identity rescale = %v", got)
+	}
+	if got := CsForScale(96e3, 192); got != 9.6e3 {
+		t.Fatalf("1/10 rescale = %v", got)
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	if rows[0].Technique != "RAPL" || !rows[0].Capping || rows[0].Reported != "Average" {
+		t.Errorf("RAPL row %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Capping {
+			t.Errorf("%s must not support capping", r.Technique)
+		}
+		if r.Reported != "Instantaneous" {
+			t.Errorf("%s reported %q", r.Technique, r.Reported)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "300 ms") {
+		t.Error("EMON granularity missing from render")
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 4 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	// Paper row order: Cab, Vulcan, Teller, HA8K.
+	wantSites := []string{"Cab", "BG/Q Vulcan", "Teller", "HA8K"}
+	for i, w := range wantSites {
+		if !strings.HasPrefix(rows[i].Site, w) {
+			t.Errorf("row %d site %q, want prefix %q", i, rows[i].Site, w)
+		}
+	}
+	if rows[3].TotalNodes != 960 || rows[3].FreqGHz != 2.7 || rows[3].TDPWatts != 130 {
+		t.Errorf("HA8K row %+v", rows[3])
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	series, err := Figure1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("panels %d, want 3", len(series))
+	}
+	cab, vulcan, teller := series[0], series[1], series[2]
+
+	// Cab: significant power spread, negligible performance spread.
+	if cab.MaxPowerIncreasePct < 10 || cab.MaxPowerIncreasePct > 40 {
+		t.Errorf("Cab power spread %v%%, want ≈ 23%%", cab.MaxPowerIncreasePct)
+	}
+	if cab.MaxSlowdownPct > 2 {
+		t.Errorf("Cab slowdown %v%%, want ≈ 0 (frequency-binned)", cab.MaxSlowdownPct)
+	}
+
+	// Vulcan: moderate board-level power spread, no performance spread.
+	if vulcan.MaxPowerIncreasePct < 4 || vulcan.MaxPowerIncreasePct > 25 {
+		t.Errorf("Vulcan power spread %v%%, want ≈ 11%%", vulcan.MaxPowerIncreasePct)
+	}
+
+	// Teller: both spreads, negative slowdown/power correlation.
+	if teller.MaxSlowdownPct < 5 {
+		t.Errorf("Teller slowdown %v%%, want noticeable (≈ 17%%)", teller.MaxSlowdownPct)
+	}
+	if teller.SlowdownPowerCorr > -0.3 {
+		t.Errorf("Teller correlation %v, want clearly negative", teller.SlowdownPowerCorr)
+	}
+
+	// Points sorted by slowdown, as the paper plots them.
+	for _, s := range series {
+		if len(s.Points) != s.Units {
+			t.Errorf("%s point count %d != units %d", s.System, len(s.Points), s.Units)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].SlowdownPct < s.Points[i-1].SlowdownPct {
+				t.Errorf("%s points not sorted", s.System)
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure1(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2i(t *testing.T) {
+	res, err := Figure2i(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Bench != "*DGEMM" || res[1].Bench != "MHD" {
+		t.Fatalf("panels %+v", res)
+	}
+	dgemm, mhd := res[0], res[1]
+	// Paper: DGEMM ≈ 112.8 W module / 100.8 CPU / 12.0 DRAM; MHD ≈ 96.4 /
+	// 83.9 / 12.6. Allow ±5%.
+	approx := func(got, want float64) bool { return got > want*0.95 && got < want*1.05 }
+	if !approx(dgemm.Module.Mean, 112.8) || !approx(dgemm.CPU.Mean, 100.8) {
+		t.Errorf("DGEMM means %v / %v", dgemm.Module.Mean, dgemm.CPU.Mean)
+	}
+	if !approx(mhd.Module.Mean, 96.4) || !approx(mhd.CPU.Mean, 83.9) {
+		t.Errorf("MHD means %v / %v", mhd.Module.Mean, mhd.CPU.Mean)
+	}
+	// DRAM Vp ≈ 2.8, far above module Vp.
+	if dgemm.Dram.Vp < 1.8 || dgemm.Dram.Vp > 3.6 {
+		t.Errorf("DGEMM DRAM Vp %v, want ≈ 2.8", dgemm.Dram.Vp)
+	}
+	// DGEMM's ceiling-clamped CPU power is much tighter than MHD's free-
+	// running spread (the paper's σ = 0.25 vs 3.55 contrast).
+	if dgemm.CPU.Std > mhd.CPU.Std/2 {
+		t.Errorf("DGEMM CPU σ %v not well below MHD's %v", dgemm.CPU.Std, mhd.CPU.Std)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure2i(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2Sweep(t *testing.T) {
+	res, err := Figure2Sweep(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sweep := range res {
+		if sweep.Clusters[0].Cm != 0 {
+			t.Fatal("first cluster must be uncapped")
+		}
+		// Vf grows monotonically as caps tighten (the paper's central
+		// analysis finding), ignoring the uncapped cluster.
+		prev := 0.0
+		for _, c := range sweep.Clusters[1:] {
+			if c.Vf < prev-0.05 {
+				t.Errorf("%s: Vf not growing as caps tighten (%v after %v at Cm=%v)",
+					sweep.Bench, c.Vf, prev, c.Cm)
+			}
+			prev = c.Vf
+			if c.Ccpu <= 0 || c.Ccpu >= c.Cm {
+				t.Errorf("%s: Ccpu %v outside (0, Cm=%v)", sweep.Bench, c.Ccpu, c.Cm)
+			}
+		}
+	}
+	// MHD's synchronisation hides per-rank variation: Vt stays ≈ 1 even
+	// under caps, while DGEMM's Vt grows.
+	var dgemm, mhd Fig2SweepResult
+	for _, s := range res {
+		if s.Bench == "*DGEMM" {
+			dgemm = s
+		} else {
+			mhd = s
+		}
+	}
+	lastD := dgemm.Clusters[len(dgemm.Clusters)-1]
+	lastM := mhd.Clusters[len(mhd.Clusters)-1]
+	if lastD.Vt < 1.15 {
+		t.Errorf("DGEMM Vt under tight caps %v, want ≫ 1", lastD.Vt)
+	}
+	if lastM.Vt > 1.1 {
+		t.Errorf("MHD Vt under caps %v, want ≈ 1 (synchronised)", lastM.Vt)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure2Sweep(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCapMatchesPaper(t *testing.T) {
+	// The paper's Figure-2 annotations: *DGEMM Cm=110 → Ccpu=97.4;
+	// Cm=70 → 59.3. Our closed form must land within a watt.
+	avg := core.PMTEntry{CPUMax: 96, DramMax: 12, CPUMin: 50, DramMin: 10.3}
+	if got := UniformCap(avg, 110); got < 96.5 || got > 98.5 {
+		t.Errorf("UniformCap(110) = %v, paper says 97.4", got)
+	}
+	if got := UniformCap(avg, 70); got < 58.3 || got > 60.3 {
+		t.Errorf("UniformCap(70) = %v, paper says 59.3", got)
+	}
+	// Degenerate flat CPU range.
+	flat := core.PMTEntry{CPUMax: 50, DramMax: 12, CPUMin: 50, DramMin: 10}
+	if got := UniformCap(flat, 70); got != 60 {
+		t.Errorf("flat-range cap %v, want 60", got)
+	}
+}
+
+func TestFigure3SyncExplosion(t *testing.T) {
+	res, err := Figure3(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modules != 64 {
+		t.Fatalf("modules %d, want 64", res.Modules)
+	}
+	unc := res.Levels[0]
+	tightest := res.Levels[len(res.Levels)-1]
+	if tightest.MeanSync < 5*unc.MeanSync {
+		t.Errorf("capping did not inflate sync time: %v vs %v", tightest.MeanSync, unc.MeanSync)
+	}
+	// Mean sync time grows monotonically as caps tighten.
+	prev := unc.MeanSync
+	for _, lvl := range res.Levels[1:] {
+		if lvl.MeanSync < prev {
+			t.Errorf("sync time shrank at Cm=%v", lvl.Cm)
+		}
+		prev = lvl.MeanSync
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure3(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure5Linearity(t *testing.T) {
+	res, err := Figure5(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		for name, fit := range map[string]float64{
+			"cpu": r.CPUFit.R2, "dram": r.DramFit.R2, "module": r.ModuleFit.R2,
+		} {
+			if fit < 0.99 {
+				t.Errorf("%s %s R² = %v, want ≥ 0.99 (paper ≥ 0.991)", r.Bench, name, fit)
+			}
+		}
+		if r.MinPerModuleCPUR2 < 0.98 {
+			t.Errorf("%s worst per-module R² = %v", r.Bench, r.MinPerModuleCPUR2)
+		}
+		if r.CPUFit.Slope <= 0 {
+			t.Errorf("%s CPU power slope %v not positive", r.Bench, r.CPUFit.Slope)
+		}
+		if len(r.Points) != 16 {
+			t.Errorf("%s sweep has %d points, want one per P-state", r.Bench, len(r.Points))
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure5(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure6Accuracy(t *testing.T) {
+	res, err := Figure6(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bt, stream float64
+	var worst string
+	var worstErr float64
+	for _, row := range res.Rows {
+		if row.MeanErrMax > worstErr {
+			worstErr = row.MeanErrMax
+			worst = row.Bench
+		}
+		switch row.Bench {
+		case "NPB-BT":
+			bt = row.MeanErrMax
+		case "*STREAM":
+			stream = row.MeanErrMax
+		}
+	}
+	if worst != "NPB-BT" {
+		t.Errorf("worst-calibrated benchmark is %s (%v), paper says NPB-BT", worst, worstErr)
+	}
+	if stream > 0.01 {
+		t.Errorf("*STREAM self-calibration error %v, want ≈ 0", stream)
+	}
+	if bt < 0.04 || bt > 0.15 {
+		t.Errorf("NPB-BT error %v, paper says ≈ 10%%", bt)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure6(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	// The feasibility grid must reproduce the paper's Table 4 cell for
+	// cell. Boundaries are per-module, so a reduced module count suffices.
+	res, err := Table4(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"*DGEMM":  "XXXXX--",
+		"*STREAM": "•XXX---",
+		"MHD":     "••XXXX-",
+		"NPB-BT":  "•••XXXX",
+		"NPB-SP":  "•••XXXX",
+		"mVMC":    "•••XXX-",
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("row count %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		var got strings.Builder
+		for _, m := range row.Marks {
+			switch m {
+			case MarkRun:
+				got.WriteString("X")
+			case MarkUnconstrained:
+				got.WriteString("•")
+			case MarkInfeasible:
+				got.WriteString("-")
+			}
+		}
+		if got.String() != want[row.Bench] {
+			t.Errorf("%s marks %q, paper says %q (uncapped %.1f W, fmin %.1f W)",
+				row.Bench, got.String(), want[row.Bench], row.UncappedModuleW, row.FminModuleW)
+		}
+	}
+	// EvaluatedConstraints returns exactly the X columns.
+	if cs := res.EvaluatedConstraints("NPB-BT"); len(cs) != 4 || cs[0] != units.Watts(80*1920) {
+		t.Errorf("BT evaluated constraints %v", cs)
+	}
+	if cs := res.EvaluatedConstraints("nonexistent"); cs != nil {
+		t.Error("unknown benchmark returned constraints")
+	}
+	var buf bytes.Buffer
+	if err := RenderTable4(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}

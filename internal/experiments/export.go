@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"varpower/internal/core"
+	"varpower/internal/report"
+)
+
+// Data-level exports: unlike the Render* functions (which print the
+// summary a reader compares against the paper), these return the raw
+// series behind each figure as tables suitable for CSV export and
+// replotting — the reproduction artifact a downstream user feeds to their
+// own plotting pipeline. See cmd/varsim's -dump flag.
+
+// Fig1Data returns one table per Figure-1 panel with the sorted per-unit
+// points.
+func Fig1Data(series []Fig1Series) []*report.Table {
+	var out []*report.Table
+	for _, s := range series {
+		t := report.NewTable(s.System, "unit", "slowdown_pct", "power_increase_pct")
+		for _, p := range s.Points {
+			t.AddRow(fmt.Sprint(p.UnitID), report.Cellf(p.SlowdownPct, 4), report.Cellf(p.PowerIncreasePct, 4))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig2iData returns one table per benchmark with the per-module power
+// breakdown.
+func Fig2iData(results []Fig2iResult) []*report.Table {
+	var out []*report.Table
+	for _, r := range results {
+		t := report.NewTable(r.Bench, "module", "cpu_w", "dram_w", "module_w")
+		for _, m := range r.Modules {
+			t.AddRow(fmt.Sprint(m.ModuleID), report.Cellf(m.CPU, 3), report.Cellf(m.Dram, 3), report.Cellf(m.Module, 3))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig2SweepData returns the cluster summaries of the cap sweep.
+func Fig2SweepData(results []Fig2SweepResult) *report.Table {
+	t := report.NewTable("fig2-sweep",
+		"bench", "cm_w", "ccpu_w", "mean_freq_ghz", "vf", "vp_cpu", "vt", "vp_module")
+	for _, r := range results {
+		for _, c := range r.Clusters {
+			t.AddRow(r.Bench,
+				report.Cellf(float64(c.Cm), 1), report.Cellf(float64(c.Ccpu), 2),
+				report.Cellf(c.MeanFreqGHz, 4), report.Cellf(c.Vf, 4),
+				report.Cellf(c.CPUPower.Vp, 4), report.Cellf(c.Vt, 4),
+				report.Cellf(c.ModulePower.Vp, 4))
+		}
+	}
+	return t
+}
+
+// Fig3Data returns the per-rank sync/power points of every cap level.
+func Fig3Data(r Fig3Result) *report.Table {
+	t := report.NewTable("fig3", "cm_w", "rank", "sync_s", "module_w")
+	for _, lvl := range r.Levels {
+		for i := range lvl.SyncSeconds {
+			t.AddRow(report.Cellf(float64(lvl.Cm), 1), fmt.Sprint(i),
+				report.Cellf(lvl.SyncSeconds[i], 4), report.Cellf(lvl.ModuleWatts[i], 3))
+		}
+	}
+	return t
+}
+
+// Fig5Data returns the frequency sweep points per benchmark.
+func Fig5Data(results []Fig5Result) *report.Table {
+	t := report.NewTable("fig5", "bench", "freq_ghz", "cpu_w", "dram_w", "module_w")
+	for _, r := range results {
+		for _, p := range r.Points {
+			t.AddRow(r.Bench, report.Cellf(p.FreqGHz, 2),
+				report.Cellf(p.CPU, 3), report.Cellf(p.Dram, 3), report.Cellf(p.Module, 3))
+		}
+	}
+	return t
+}
+
+// Fig6Data returns the calibration-error rows.
+func Fig6Data(r Fig6Result) *report.Table {
+	t := report.NewTable("fig6", "bench", "mean_err_fmax", "max_err_fmax", "mean_err_fmin", "max_err_fmin")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench,
+			report.Cellf(row.MeanErrMax, 5), report.Cellf(row.MaxErrMax, 5),
+			report.Cellf(row.MeanErrMin, 5), report.Cellf(row.MaxErrMin, 5))
+	}
+	return t
+}
+
+// Table4Data returns the feasibility grid with its boundary powers.
+func Table4Data(t4 Table4Result) *report.Table {
+	header := []string{"bench", "uncapped_module_w", "fmin_module_w"}
+	for i := range t4.CsKW {
+		header = append(header, fmt.Sprintf("cs_%.0fkw", t4.CsKW[i]))
+	}
+	t := report.NewTable("table4", header...)
+	for _, row := range t4.Rows {
+		cells := []string{row.Bench, report.Cellf(row.UncappedModuleW, 2), report.Cellf(row.FminModuleW, 2)}
+		for _, m := range row.Marks {
+			cells = append(cells, string(m))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig7Data returns the per-scenario speedups.
+func Fig7Data(r Fig7Result) *report.Table {
+	header := []string{"bench", "cs_kw"}
+	for _, s := range core.AllSchemes() {
+		header = append(header, s.String())
+	}
+	t := report.NewTable("fig7", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Bench, report.Cellf(row.Cs.KW(), 0)}
+		for _, s := range core.AllSchemes() {
+			cells = append(cells, report.Cellf(row.Speedups[s], 4))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig8Data returns panel (i)'s levels and panel (ii)'s sync rows in one
+// table each.
+func Fig8Data(r Fig8Result) (powerPerf, sync *report.Table) {
+	powerPerf = report.NewTable("fig8i", "bench", "cs_kw", "freq_ghz", "vt", "vp_module")
+	for _, s := range r.PowerPerf {
+		powerPerf.AddRow(s.Bench, "0", "-", report.Cellf(s.Uncapped.Vt, 4), report.Cellf(s.Uncapped.Vp, 4))
+		for _, lvl := range s.Levels {
+			powerPerf.AddRow(s.Bench, report.Cellf(lvl.Cs.KW(), 0),
+				report.Cellf(lvl.FreqGHz, 3), report.Cellf(lvl.Vt, 4), report.Cellf(lvl.Vp, 4))
+		}
+	}
+	sync = report.NewTable("fig8ii", "cm_w", "freq_ghz", "mean_sync_s", "max_sync_s", "vt_sync", "vp_module")
+	for _, lvl := range r.Sync {
+		sync.AddRow(report.Cellf(float64(lvl.CmAvg), 0), report.Cellf(lvl.FreqGHz, 3),
+			report.Cellf(lvl.MeanSync, 4), report.Cellf(lvl.MaxSync, 4),
+			report.Cellf(lvl.Vt, 4), report.Cellf(lvl.Vp, 4))
+	}
+	return powerPerf, sync
+}
+
+// Fig9Data returns the measured total powers.
+func Fig9Data(r Fig9Result) *report.Table {
+	header := []string{"bench", "cs_kw"}
+	for _, s := range core.AllSchemes() {
+		header = append(header, s.String()+"_kw")
+	}
+	t := report.NewTable("fig9", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Bench, report.Cellf(row.Cs.KW(), 0)}
+		for _, s := range core.AllSchemes() {
+			if v, ok := row.MeasuredKW[s]; ok {
+				cells = append(cells, report.Cellf(v, 3))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1DataExport(t *testing.T) {
+	series, err := Figure1(Options{CabSockets: 32, VulcanBoards: 4, TellerSockets: 16, HA8KModules: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := Fig1Data(series)
+	if len(tables) != 3 {
+		t.Fatalf("tables %d", len(tables))
+	}
+	for i, tab := range tables {
+		if tab.NumRows() != series[i].Units {
+			t.Errorf("panel %d rows %d, units %d", i, tab.NumRows(), series[i].Units)
+		}
+		var buf bytes.Buffer
+		if err := tab.RenderCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(buf.String(), "unit,slowdown_pct,power_increase_pct\n") {
+			t.Errorf("panel %d header wrong", i)
+		}
+	}
+}
+
+func TestSweepAndGridExports(t *testing.T) {
+	o := smallOpts()
+	f2i, err := Figure2i(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range Fig2iData(f2i) {
+		if tab.NumRows() != o.withDefaults().HA8KModules {
+			t.Errorf("fig2i rows %d", tab.NumRows())
+		}
+	}
+	sweep, err := Figure2Sweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig2SweepData(sweep).NumRows() == 0 {
+		t.Error("empty sweep export")
+	}
+	f3, err := Figure3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig3Data(f3).NumRows() != len(f3.Levels)*f3.Modules {
+		t.Error("fig3 export row count wrong")
+	}
+	f5, err := Figure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig5Data(f5).NumRows() != len(f5)*len(f5[0].Points) {
+		t.Error("fig5 export row count wrong")
+	}
+	f6, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig6Data(f6).NumRows() != len(f6.Rows) {
+		t.Error("fig6 export row count wrong")
+	}
+	t4, err := Table4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Table4Data(t4).NumRows() != 6 {
+		t.Error("table4 export row count wrong")
+	}
+}
+
+func TestGridViewExports(t *testing.T) {
+	g := buildGrid(t)
+	f7, err := Figure7(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig7Data(f7).NumRows() != len(f7.Rows) {
+		t.Error("fig7 export row count wrong")
+	}
+	f8, err := Figure8(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := Fig8Data(f8)
+	if p1.NumRows() == 0 || p2.NumRows() != len(f8.Sync) {
+		t.Error("fig8 export shapes wrong")
+	}
+	f9, err := Figure9(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fig9Data(f9).NumRows() != len(f9.Rows) {
+		t.Error("fig9 export row count wrong")
+	}
+	var buf bytes.Buffer
+	if err := Fig9Data(f9).RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Naive_kw") {
+		t.Error("fig9 CSV header missing scheme columns")
+	}
+}

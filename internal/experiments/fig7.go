@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"varpower/internal/core"
+	"varpower/internal/report"
+	"varpower/internal/units"
+)
+
+// Fig7Row is one scenario's speedups over Naive for every scheme.
+type Fig7Row struct {
+	Bench    string
+	Cs       units.Watts
+	Speedups map[core.Scheme]float64
+}
+
+// Fig7Result reproduces Figure 7 plus the paper's headline aggregates.
+type Fig7Result struct {
+	Rows []Fig7Row
+
+	// Max and Avg speedups per scheme across all evaluated scenarios
+	// (paper: VaFs max 5.40, avg 1.86; VaPc max 4.03, avg 1.72).
+	Max map[core.Scheme]float64
+	Avg map[core.Scheme]float64
+}
+
+// Figure7 computes speedups relative to the Naive budgeting scheme for
+// every Table-4 "X" scenario and every scheme.
+func Figure7(g *EvalGrid) (Fig7Result, error) {
+	out := Fig7Result{
+		Max: make(map[core.Scheme]float64),
+		Avg: make(map[core.Scheme]float64),
+	}
+	counts := make(map[core.Scheme]int)
+	for _, sc := range g.Scenarios() {
+		row := Fig7Row{Bench: sc.Bench, Cs: sc.Cs, Speedups: make(map[core.Scheme]float64)}
+		for _, scheme := range core.AllSchemes() {
+			s, err := g.Speedup(sc.Bench, sc.Cs, scheme)
+			if err != nil {
+				var inf core.ErrBudgetInfeasible
+				if errors.As(err, &inf) {
+					// A scheme whose model over-predicts the fmin power
+					// refuses a boundary budget the oracle would accept;
+					// report the cell as missing rather than failing the
+					// whole figure.
+					row.Speedups[scheme] = 0
+					continue
+				}
+				return Fig7Result{}, fmt.Errorf("experiments: figure 7 %s@%v %v: %w", sc.Bench, sc.Cs, scheme, err)
+			}
+			row.Speedups[scheme] = s
+			if s > out.Max[scheme] {
+				out.Max[scheme] = s
+			}
+			out.Avg[scheme] += s
+			counts[scheme]++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for scheme, n := range counts {
+		if n > 0 {
+			out.Avg[scheme] /= float64(n)
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure7 writes the speedup table and the aggregate lines.
+func RenderFigure7(w io.Writer, r Fig7Result) error {
+	header := []string{"Benchmark", "Cs"}
+	for _, s := range core.AllSchemes() {
+		header = append(header, s.String())
+	}
+	t := report.NewTable("Figure 7: Speedup Compared to the Naive Budgeting Scheme", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Bench, fmt.Sprintf("%.0f kW", row.Cs.KW())}
+		for _, s := range core.AllSchemes() {
+			if row.Speedups[s] == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, report.Cellf(row.Speedups[s], 2))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	maxCells := []string{"(max)", ""}
+	avgCells := []string{"(avg)", ""}
+	for _, s := range core.AllSchemes() {
+		maxCells = append(maxCells, report.Cellf(r.Max[s], 2))
+		avgCells = append(avgCells, report.Cellf(r.Avg[s], 2))
+	}
+	t.AddRow(maxCells...)
+	t.AddRow(avgCells...)
+	return t.Render(w)
+}

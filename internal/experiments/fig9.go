@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"varpower/internal/core"
+	"varpower/internal/report"
+	"varpower/internal/units"
+)
+
+// Fig9Row is one scenario's measured total power for every scheme.
+type Fig9Row struct {
+	Bench string
+	Cs    units.Watts
+	// MeasuredKW maps scheme → RAPL-measured average total power in kW,
+	// rescaled to paper scale (1,920 modules) when the grid is smaller.
+	MeasuredKW map[core.Scheme]float64
+	// Violates maps scheme → whether measured power exceeded the
+	// constraint.
+	Violates map[core.Scheme]bool
+}
+
+// Fig9Result reproduces Figure 9: total power consumption versus the
+// enforced constraint for every scheme. The paper's finding: every scheme
+// adheres except Naive on *STREAM, whose DRAM power it under-predicts.
+type Fig9Result struct {
+	Rows []Fig9Row
+	// AnyViolation lists "bench@cs scheme" strings for quick assertions.
+	Violations []string
+}
+
+// Figure9 extracts measured power adherence from the evaluation grid.
+func Figure9(g *EvalGrid) (Fig9Result, error) {
+	scale := 1920 / float64(len(g.Modules))
+	var out Fig9Result
+	for _, sc := range g.Scenarios() {
+		row := Fig9Row{
+			Bench:      sc.Bench,
+			Cs:         sc.Cs,
+			MeasuredKW: make(map[core.Scheme]float64),
+			Violates:   make(map[core.Scheme]bool),
+		}
+		for _, scheme := range core.AllSchemes() {
+			cell, err := g.Cell(sc.Bench, sc.Cs, scheme)
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			if cell.Err != nil {
+				var inf core.ErrBudgetInfeasible
+				if errors.As(cell.Err, &inf) {
+					continue // missing cell, see Figure7
+				}
+				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %s@%v %v: %w", sc.Bench, sc.Cs, scheme, cell.Err)
+			}
+			kw := float64(cell.Run.Result.AvgTotalPower) * scale / 1e3
+			row.MeasuredKW[scheme] = kw
+			if kw > sc.Cs.KW() {
+				row.Violates[scheme] = true
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("%s@%.0fkW %v", sc.Bench, sc.Cs.KW(), scheme))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RenderFigure9 writes the adherence table; violating cells are marked with
+// an exclamation point, as the paper's red constraint lines make visible.
+func RenderFigure9(w io.Writer, r Fig9Result) error {
+	header := []string{"Benchmark", "Cs"}
+	for _, s := range core.AllSchemes() {
+		header = append(header, s.String())
+	}
+	t := report.NewTable("Figure 9: Total Power Consumption [kW] for All Budgeting Schemes", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Bench, fmt.Sprintf("%.0f kW", row.Cs.KW())}
+		for _, s := range core.AllSchemes() {
+			if _, ok := row.MeasuredKW[s]; !ok {
+				cells = append(cells, "-")
+				continue
+			}
+			c := report.Cellf(row.MeasuredKW[s], 1)
+			if row.Violates[s] {
+				c += " !"
+			}
+			cells = append(cells, c)
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}

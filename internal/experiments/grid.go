@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// GridCell is one (benchmark, constraint, scheme) evaluation.
+type GridCell struct {
+	Bench string
+	// Cs is the paper-scale system constraint (for 1,920 modules); the
+	// actual budget passed to the solver is rescaled to the grid's module
+	// count.
+	Cs     units.Watts
+	Scheme core.Scheme
+	Run    *core.SchemeRun
+	Err    error
+}
+
+// EvalGrid holds the full evaluation-section run matrix: every Table-4 "X"
+// scenario under every scheme. Figures 7, 8(i) and 9 are views over it.
+type EvalGrid struct {
+	Opts    Options
+	Sys     *cluster.System
+	Modules []int
+	FW      *core.Framework
+	T4      Table4Result
+	Cells   []GridCell
+
+	// Uncapped holds each benchmark's unconstrained elapsed time for
+	// normalisation.
+	Uncapped map[string]units.Seconds
+}
+
+// EvaluationGrid runs the complete evaluation: it builds the framework
+// (generating the PVT), derives the feasible scenario set from Table 4, and
+// executes all six schemes on every X-marked (benchmark, Cs) pair.
+func EvaluationGrid(o Options) (*EvalGrid, error) {
+	o = o.withDefaults()
+	sys, ids, err := o.haSystem()
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.NewFramework(sys, nil)
+	if err != nil {
+		return nil, err
+	}
+	t4, err := Table4(o)
+	if err != nil {
+		return nil, err
+	}
+	g := &EvalGrid{
+		Opts: o, Sys: sys, Modules: ids, FW: fw, T4: t4,
+		Uncapped: make(map[string]units.Seconds),
+	}
+	for _, bench := range workload.Evaluated() {
+		for _, cs := range t4.EvaluatedConstraints(bench.Name) {
+			budget := CsForScale(cs, len(ids))
+			for _, scheme := range core.AllSchemes() {
+				run, err := fw.Run(bench, ids, budget, scheme)
+				cell := GridCell{Bench: bench.Name, Cs: cs, Scheme: scheme, Run: run, Err: err}
+				g.Cells = append(g.Cells, cell)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Cell returns the grid cell for (bench, cs, scheme).
+func (g *EvalGrid) Cell(bench string, cs units.Watts, scheme core.Scheme) (GridCell, error) {
+	for _, c := range g.Cells {
+		if c.Bench == bench && c.Cs == cs && c.Scheme == scheme {
+			return c, nil
+		}
+	}
+	return GridCell{}, fmt.Errorf("experiments: no grid cell for %s at %v under %v", bench, cs, scheme)
+}
+
+// Speedup returns the cell's speedup relative to the Naive baseline at the
+// same constraint.
+func (g *EvalGrid) Speedup(bench string, cs units.Watts, scheme core.Scheme) (float64, error) {
+	base, err := g.Cell(bench, cs, core.Naive)
+	if err != nil {
+		return 0, err
+	}
+	if base.Err != nil {
+		return 0, fmt.Errorf("experiments: Naive baseline failed for %s at %v: %w", bench, cs, base.Err)
+	}
+	c, err := g.Cell(bench, cs, scheme)
+	if err != nil {
+		return 0, err
+	}
+	if c.Err != nil {
+		return 0, c.Err
+	}
+	return float64(base.Run.Elapsed()) / float64(c.Run.Elapsed()), nil
+}
+
+// Scenarios lists the distinct (bench, Cs) pairs in grid order.
+func (g *EvalGrid) Scenarios() []struct {
+	Bench string
+	Cs    units.Watts
+} {
+	var out []struct {
+		Bench string
+		Cs    units.Watts
+	}
+	seen := map[string]bool{}
+	for _, c := range g.Cells {
+		key := fmt.Sprintf("%s|%v", c.Bench, c.Cs)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, struct {
+				Bench string
+				Cs    units.Watts
+			}{c.Bench, c.Cs})
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"varpower/internal/core"
+)
+
+// The reproduction must not be an artifact of one lucky seed: the paper's
+// qualitative findings have to survive redrawing the machine.
+
+func TestTable4StableAcrossSeeds(t *testing.T) {
+	want := map[string]string{
+		"*DGEMM":  "XXXXX--",
+		"*STREAM": "•XXX---",
+		"MHD":     "••XXXX-",
+		"NPB-BT":  "•••XXXX",
+		"NPB-SP":  "•••XXXX",
+		"mVMC":    "•••XXX-",
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := Table4(Options{Seed: seed, HA8KModules: 192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			got := ""
+			for _, m := range row.Marks {
+				switch m {
+				case MarkRun:
+					got += "X"
+				case MarkUnconstrained:
+					got += "•"
+				default:
+					got += "-"
+				}
+			}
+			if got != want[row.Bench] {
+				t.Errorf("seed %d: %s marks %q, want %q (boundaries drifted: uncapped %.1f W, fmin %.1f W)",
+					seed, row.Bench, got, want[row.Bench], row.UncappedModuleW, row.FminModuleW)
+			}
+		}
+	}
+}
+
+func TestHeadlineFindingsStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed grid evaluation")
+	}
+	for seed := uint64(11); seed <= 13; seed++ {
+		g, err := EvaluationGrid(Options{Seed: seed, HA8KModules: 96})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f7, err := Figure7(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f7.Avg[core.VaFs] < 1.25 {
+			t.Errorf("seed %d: VaFs average speedup %v too small", seed, f7.Avg[core.VaFs])
+		}
+		if f7.Avg[core.VaFs] <= f7.Avg[core.VaPc]-0.02 {
+			t.Errorf("seed %d: FS (%v) lost to PC (%v)", seed, f7.Avg[core.VaFs], f7.Avg[core.VaPc])
+		}
+		f9, err := Figure9(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkAdherence(f9); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// checkAdherence encodes the Figure-9 contract across seeds: RAPL-enforced
+// schemes never exceed the budget; Naive violates only through its *STREAM
+// DRAM under-prediction; VaFs — which enforces a clock, not a power bound
+// (Section 5.3's stated caveat) — may exceed by a small calibration-error
+// margin, never more than 3%.
+func checkAdherence(f9 Fig9Result) error {
+	for _, row := range f9.Rows {
+		for _, s := range core.AllSchemes() {
+			if !row.Violates[s] {
+				continue
+			}
+			over := row.MeasuredKW[s]/row.Cs.KW() - 1
+			switch {
+			case s == core.Naive && row.Bench == "*STREAM":
+				// The paper's documented violation.
+			case s.UsesFS() && over <= 0.03:
+				// FS's documented exposure, bounded.
+			default:
+				return fmt.Errorf("%v violated on %s@%.0fkW by %.1f%%",
+					s, row.Bench, row.Cs.KW(), over*100)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"varpower/internal/cluster"
+	"varpower/internal/hw/sensors"
+	"varpower/internal/report"
+)
+
+// Table1Row describes one power measurement technique (paper Table 1).
+type Table1Row struct {
+	Technique   string
+	Reported    string // "Average" or "Instantaneous"
+	Granularity string
+	Capping     bool
+}
+
+// Table1 returns the measurement-technique comparison. The rows are derived
+// from the implemented back-ends rather than hard-coded prose: RAPL comes
+// from the MSR/RAPL emulation (counter-based averages, capping capable),
+// the other two from the sensors package specs.
+func Table1() []Table1Row {
+	pi := sensors.PowerInsight
+	emon := sensors.EMON
+	return []Table1Row{
+		{
+			Technique:   string(cluster.MeasureRAPL),
+			Reported:    "Average",
+			Granularity: "1 ms",
+			Capping:     cluster.MeasureRAPL.SupportsCapping(),
+		},
+		{
+			Technique:   pi.Name,
+			Reported:    "Instantaneous",
+			Granularity: fmt.Sprintf("%.0f ms (or less)", float64(pi.Interval)*1e3),
+			Capping:     cluster.MeasurePI.SupportsCapping(),
+		},
+		{
+			Technique:   emon.Name,
+			Reported:    "Instantaneous",
+			Granularity: fmt.Sprintf("%.0f ms", float64(emon.Interval)*1e3),
+			Capping:     cluster.MeasureEMON.SupportsCapping(),
+		},
+	}
+}
+
+// RenderTable1 writes Table 1 as text.
+func RenderTable1(w io.Writer) error {
+	t := report.NewTable("Table 1: Power Measurement Techniques",
+		"Technique", "Reported", "Granularity", "Power Capping")
+	for _, r := range Table1() {
+		cap := "No"
+		if r.Capping {
+			cap = "Yes"
+		}
+		t.AddRow(r.Technique, r.Reported, r.Granularity, cap)
+	}
+	return t.Render(w)
+}
+
+// Table2Row describes one system (paper Table 2).
+type Table2Row struct {
+	Site         string
+	Arch         string
+	TotalNodes   int
+	ProcsPerNode int
+	CoresPerProc int
+	FreqGHz      float64
+	MemoryGB     int
+	TDPWatts     float64
+	Measurement  string
+}
+
+// Table2 returns the architectures under consideration, generated from the
+// cluster presets.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, spec := range cluster.Presets() {
+		rows = append(rows, Table2Row{
+			Site:         fmt.Sprintf("%s (%s)", spec.Name, spec.Site),
+			Arch:         spec.Arch.Name,
+			TotalNodes:   spec.Nodes,
+			ProcsPerNode: spec.ProcsPerNode,
+			CoresPerProc: spec.Arch.CoresPer,
+			FreqGHz:      spec.Arch.FNom.GHz(),
+			MemoryGB:     spec.MemoryPerNodeGB,
+			TDPWatts:     float64(spec.Arch.TDP),
+			Measurement:  string(spec.Measurement),
+		})
+	}
+	return rows
+}
+
+// RenderTable2 writes Table 2 as text.
+func RenderTable2(w io.Writer) error {
+	t := report.NewTable("Table 2: Architectures Under Consideration",
+		"Site", "Micro-Architecture", "Nodes", "Procs/Node", "Cores/Proc",
+		"CPU Freq", "Mem/Node", "TDP", "Power Msrmt.")
+	for _, r := range Table2() {
+		t.AddRow(r.Site, r.Arch,
+			fmt.Sprint(r.TotalNodes), fmt.Sprint(r.ProcsPerNode), fmt.Sprint(r.CoresPerProc),
+			fmt.Sprintf("%.1f GHz", r.FreqGHz),
+			fmt.Sprintf("%d GB", r.MemoryGB),
+			fmt.Sprintf("%.0f W", r.TDPWatts),
+			r.Measurement)
+	}
+	return t.Render(w)
+}

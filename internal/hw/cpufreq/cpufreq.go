@@ -1,0 +1,65 @@
+// Package cpufreq emulates the cpufrequtils/userspace-governor interface
+// the paper's Frequency Selection (FS) implementation uses: a discrete
+// ladder of P-states per module, a governor that pins the clock to one of
+// them, and no power enforcement whatsoever — power lands wherever the
+// module's curves put it, which is why FS "has the potential to violate the
+// derived CPU power cap" (Section 5.3) while delivering perfectly
+// homogeneous performance.
+package cpufreq
+
+import (
+	"fmt"
+
+	"varpower/internal/hw/module"
+	"varpower/internal/units"
+)
+
+// Governor pins one module's frequency.
+type Governor struct {
+	mod    *module.Module
+	ladder []units.Hertz
+	target units.Hertz
+	pinned bool
+}
+
+// NewGovernor creates a governor for the module with its architecture's
+// P-state ladder.
+func NewGovernor(mod *module.Module) *Governor {
+	return &Governor{mod: mod, ladder: mod.Arch.PStates()}
+}
+
+// Available returns the selectable frequencies, ascending.
+func (g *Governor) Available() []units.Hertz {
+	out := make([]units.Hertz, len(g.ladder))
+	copy(out, g.ladder)
+	return out
+}
+
+// SetSpeed pins the module to the highest available P-state not exceeding
+// f (cpufreq-set --freq semantics round to a ladder entry). It returns the
+// frequency actually selected.
+func (g *Governor) SetSpeed(f units.Hertz) (units.Hertz, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("cpufreq: non-positive frequency %v", f)
+	}
+	g.target = g.mod.Arch.QuantizeDown(f)
+	g.pinned = true
+	return g.target, nil
+}
+
+// Release returns the module to hardware-managed (ondemand/turbo) operation.
+func (g *Governor) Release() { g.pinned = false }
+
+// Pinned reports whether a userspace frequency is in force, and which.
+func (g *Governor) Pinned() (units.Hertz, bool) { return g.target, g.pinned }
+
+// OperatingPoint resolves the steady-state operating point for workload p:
+// the pinned frequency when set, otherwise the module's uncapped behaviour.
+// Frequency selection is exact — there is no control jitter, the clock is
+// simply set — which is the root of FS's performance homogeneity.
+func (g *Governor) OperatingPoint(p module.PowerProfile) module.OperatingPoint {
+	if !g.pinned {
+		return g.mod.Uncapped(p)
+	}
+	return g.mod.AtFrequency(p, g.target)
+}

@@ -1,0 +1,246 @@
+// Package msr emulates the Machine Specific Register interface that the
+// paper's power management stack is built on (Section 3.1.1: RAPL is
+// programmed through MSRs via the libMSR library, with access mediated by
+// the msr-safe whitelist).
+//
+// The emulation is register-accurate for the RAPL-relevant MSRs of the
+// Intel SDM: fixed-point unit encodings from MSR_RAPL_POWER_UNIT, the
+// PKG/DRAM power-limit bitfields, and 32-bit wrapping energy-status
+// counters. Higher layers (internal/hw/rapl) speak to modules exclusively
+// through Read/Write on this device, the same way libmsr speaks to
+// /dev/cpu/*/msr_safe.
+package msr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Register addresses (Intel SDM vol. 4).
+const (
+	IA32PerfStatus    = 0x198 // current P-state ratio in bits 15:8
+	IA32PerfCtl       = 0x199 // requested P-state ratio in bits 15:8
+	TurboRatioLimit   = 0x1AD // max turbo ratio in bits 7:0
+	RaplPowerUnit     = 0x606 // power/energy/time unit divisors
+	PkgPowerLimit     = 0x610 // PL1/PL2 limits
+	PkgEnergyStatus   = 0x611 // 32-bit wrapping energy counter
+	PkgPowerInfo      = 0x614 // TDP and min/max power
+	DramPowerLimit    = 0x618
+	DramEnergyStatus  = 0x619
+	PkgPerfStatus     = 0x613 // accumulated throttled time
+	DramPerfStatus    = 0x61B
+	PlatformPowerInfo = 0x65C
+)
+
+// Unit divisor exponents reported by MSR_RAPL_POWER_UNIT on Sandy Bridge
+// and later parts: power in 1/8 W, energy in 15.3 µJ, time in 976 µs.
+const (
+	powerUnitExp  = 3  // 1/2^3 W
+	energyUnitExp = 16 // 1/2^16 J
+	timeUnitExp   = 10 // 1/2^10 s
+)
+
+// Errors mirroring the msr-safe driver's failure modes.
+var (
+	ErrNotWhitelisted = fmt.Errorf("msr: register not in whitelist")
+	ErrReadOnly       = fmt.Errorf("msr: register is read-only")
+)
+
+// access describes the whitelist entry for one register.
+type access struct {
+	readable bool
+	writable bool
+}
+
+// whitelist mirrors the msr-safe configuration the paper's experiments
+// depended on (Shoga, Rountree & Schulz, "Whitelisting MSRs with
+// msr-safe").
+var whitelist = map[uint64]access{
+	IA32PerfStatus:    {readable: true},
+	IA32PerfCtl:       {readable: true, writable: true},
+	TurboRatioLimit:   {readable: true, writable: true},
+	RaplPowerUnit:     {readable: true},
+	PkgPowerLimit:     {readable: true, writable: true},
+	PkgEnergyStatus:   {readable: true},
+	PkgPowerInfo:      {readable: true},
+	DramPowerLimit:    {readable: true, writable: true},
+	DramEnergyStatus:  {readable: true},
+	PkgPerfStatus:     {readable: true},
+	DramPerfStatus:    {readable: true},
+	PlatformPowerInfo: {readable: true},
+}
+
+// Device is one socket's MSR file. It is safe for concurrent use — the
+// simulated "OS" may read energy counters while a controller thread writes
+// power limits, exactly as on real hardware.
+type Device struct {
+	mu   sync.Mutex
+	regs map[uint64]uint64
+
+	// Raw fractional energy that has not yet been committed to the 32-bit
+	// counters, so that accumulating many tiny quanta does not lose energy
+	// to truncation.
+	pkgEnergyFrac  float64
+	dramEnergyFrac float64
+}
+
+// NewDevice returns a device with the unit register and power-info
+// registers initialised for the given package TDP (watts).
+func NewDevice(tdpWatts float64) *Device {
+	d := &Device{regs: make(map[uint64]uint64)}
+	d.regs[RaplPowerUnit] = uint64(powerUnitExp) | uint64(energyUnitExp)<<8 | uint64(timeUnitExp)<<16
+	d.regs[PkgPowerInfo] = EncodePowerUnits(tdpWatts)
+	return d
+}
+
+// Read returns the value of the register at addr, enforcing the whitelist.
+func (d *Device) Read(addr uint64) (uint64, error) {
+	a, ok := whitelist[addr]
+	if !ok || !a.readable {
+		return 0, fmt.Errorf("%w: %#x", ErrNotWhitelisted, addr)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.regs[addr], nil
+}
+
+// Write stores val into the register at addr, enforcing the whitelist's
+// write permissions.
+func (d *Device) Write(addr, val uint64) error {
+	a, ok := whitelist[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNotWhitelisted, addr)
+	}
+	if !a.writable {
+		return fmt.Errorf("%w: %#x", ErrReadOnly, addr)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.regs[addr] = val
+	return nil
+}
+
+// AccumulateEnergy adds pkg and dram joules to the wrapping energy-status
+// counters. The simulation's run loop calls this as virtual time advances;
+// software observes it exactly as it would observe the hardware counters.
+func (d *Device) AccumulateEnergy(pkgJoules, dramJoules float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pkgEnergyFrac += pkgJoules * (1 << energyUnitExp)
+	d.dramEnergyFrac += dramJoules * (1 << energyUnitExp)
+	commit := func(frac *float64, addr uint64) {
+		if *frac < 1 {
+			return
+		}
+		units := uint64(*frac)
+		*frac -= float64(units)
+		d.regs[addr] = (d.regs[addr] + units) & 0xFFFFFFFF
+	}
+	commit(&d.pkgEnergyFrac, PkgEnergyStatus)
+	commit(&d.dramEnergyFrac, DramEnergyStatus)
+}
+
+// SetPerfStatus records the currently delivered core ratio (frequency in
+// units of 100 MHz) into IA32_PERF_STATUS, bypassing the whitelist the way
+// hardware does.
+func (d *Device) SetPerfStatus(ratio uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.regs[IA32PerfStatus] = (ratio & 0xFF) << 8
+}
+
+// --- Bitfield codecs -------------------------------------------------------
+
+// EnergyCounterToJoules converts a raw energy-status register value into
+// joules using the device's unit register.
+func EnergyCounterToJoules(raw uint64) float64 {
+	return float64(raw&0xFFFFFFFF) / (1 << energyUnitExp)
+}
+
+// EnergyDeltaJoules converts two successive raw counter reads into the
+// joules elapsed between them, handling 32-bit wraparound.
+func EnergyDeltaJoules(before, after uint64) float64 {
+	delta := (after - before) & 0xFFFFFFFF
+	return float64(delta) / (1 << energyUnitExp)
+}
+
+// EncodePowerUnits converts watts to raw 1/2^powerUnitExp-watt units
+// (bits 14:0 of the limit and info registers).
+func EncodePowerUnits(watts float64) uint64 {
+	if watts < 0 {
+		watts = 0
+	}
+	u := uint64(watts*(1<<powerUnitExp) + 0.5)
+	if u > 0x7FFF {
+		u = 0x7FFF
+	}
+	return u
+}
+
+// DecodePowerUnits converts raw power units back to watts.
+func DecodePowerUnits(raw uint64) float64 {
+	return float64(raw&0x7FFF) / (1 << powerUnitExp)
+}
+
+// PowerLimit is the decoded form of a PKG/DRAM power-limit register's PL1
+// window (the only window the paper uses).
+type PowerLimit struct {
+	Watts   float64
+	Seconds float64 // averaging time window
+	Enabled bool
+	Clamp   bool
+}
+
+// EncodePowerLimit packs a PowerLimit into the PL1 fields of the raw
+// register (bits 14:0 power, 15 enable, 16 clamp, 23:17 time window in
+// Y/Z float format).
+func EncodePowerLimit(l PowerLimit) uint64 {
+	raw := EncodePowerUnits(l.Watts)
+	if l.Enabled {
+		raw |= 1 << 15
+	}
+	if l.Clamp {
+		raw |= 1 << 16
+	}
+	raw |= encodeTimeWindow(l.Seconds) << 17
+	return raw
+}
+
+// DecodePowerLimit unpacks the PL1 fields of a raw limit register.
+func DecodePowerLimit(raw uint64) PowerLimit {
+	return PowerLimit{
+		Watts:   DecodePowerUnits(raw),
+		Enabled: raw&(1<<15) != 0,
+		Clamp:   raw&(1<<16) != 0,
+		Seconds: decodeTimeWindow(raw >> 17 & 0x7F),
+	}
+}
+
+// Time windows use the SDM's (1 + Z/4) · 2^Y format in time units, with Y
+// in bits 4:0 and Z in bits 6:5 of the 7-bit field.
+func encodeTimeWindow(seconds float64) uint64 {
+	if seconds <= 0 {
+		return 0
+	}
+	target := seconds * (1 << timeUnitExp)
+	bestY, bestZ, bestErr := uint64(0), uint64(0), -1.0
+	for y := uint64(0); y < 32; y++ {
+		for z := uint64(0); z < 4; z++ {
+			v := (1 + float64(z)/4) * float64(uint64(1)<<y)
+			err := v - target
+			if err < 0 {
+				err = -err
+			}
+			if bestErr < 0 || err < bestErr {
+				bestY, bestZ, bestErr = y, z, err
+			}
+		}
+	}
+	return bestY | bestZ<<5
+}
+
+func decodeTimeWindow(field uint64) float64 {
+	y := field & 0x1F
+	z := field >> 5 & 0x3
+	return (1 + float64(z)/4) * float64(uint64(1)<<y) / (1 << timeUnitExp)
+}

@@ -1,0 +1,93 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"varpower/internal/stats"
+)
+
+func TestTraceShape(t *testing.T) {
+	s := Attach(PowerInsight, 1, 0)
+	trace := s.Trace(100, 1) // 1 s at 1 ms → 1000 samples
+	if len(trace) != 1000 {
+		t.Fatalf("trace length %d, want 1000", len(trace))
+	}
+	if trace[0].At != 0 {
+		t.Fatalf("first sample at %v", trace[0].At)
+	}
+	if trace[999].At <= trace[0].At {
+		t.Fatal("timestamps not increasing")
+	}
+	if s.Trace(100, 0) != nil {
+		t.Fatal("zero duration should produce no trace")
+	}
+}
+
+func TestAverageNearTruth(t *testing.T) {
+	for id := 0; id < 20; id++ {
+		s := Attach(PowerInsight, 2, id)
+		avg, err := s.Measure(100, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offset sigma 0.4 W: 20 sensors stay within ±4σ comfortably.
+		if math.Abs(float64(avg)-100) > 2 {
+			t.Fatalf("sensor %d average %v far from truth 100 W", id, avg)
+		}
+	}
+}
+
+func TestCalibrationOffsetPersistent(t *testing.T) {
+	// The same attach point always has the same calibration offset, and
+	// different points have different ones.
+	a1, _ := Attach(EMON, 3, 5).Measure(500, 60)
+	a2, _ := Attach(EMON, 3, 5).Measure(500, 60)
+	if a1 != a2 {
+		t.Fatal("sensor measurement not deterministic for fixed attach point")
+	}
+	b, _ := Attach(EMON, 3, 6).Measure(500, 60)
+	if a1 == b {
+		t.Fatal("distinct attach points produced identical measurements")
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	s := Attach(PowerInsight, 4, 1)
+	trace := s.Trace(100, 10)
+	xs := make([]float64, len(trace))
+	for i, p := range trace {
+		xs[i] = float64(p.Power)
+	}
+	sum := stats.MustSummarize(xs)
+	if sum.Std < 0.3 || sum.Std > 1.2 {
+		t.Fatalf("PI sample noise σ=%v, want ≈ %v", sum.Std, PowerInsight.NoiseSigma)
+	}
+}
+
+func TestNonNegativePower(t *testing.T) {
+	s := Attach(EMON, 5, 2)
+	for _, p := range s.Trace(0.5, 300) {
+		if p.Power < 0 {
+			t.Fatalf("negative power sample %v", p.Power)
+		}
+	}
+}
+
+func TestAverageEmpty(t *testing.T) {
+	if _, err := Average(nil); err == nil {
+		t.Fatal("empty trace average should fail")
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	if PowerInsight.Interval != 0.001 {
+		t.Error("PowerInsight should sample at 1 ms (Table 1)")
+	}
+	if EMON.Interval != 0.300 {
+		t.Error("EMON should sample at 300 ms (Table 1)")
+	}
+	if got := Attach(EMON, 1, 1).Spec().Name; got != "BGQ EMON" {
+		t.Errorf("spec accessor returned %q", got)
+	}
+}

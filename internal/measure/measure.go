@@ -1,0 +1,337 @@
+// Package measure executes workloads on a simulated system and measures
+// them the way the paper does: frequencies from IA32_PERF_STATUS, power
+// from the RAPL energy counters (or a sensor back-end), time from the
+// simulated MPI runtime.
+//
+// It is the glue between the hardware substrate (cluster/module/rapl/
+// cpufreq), the application substrate (workload/simmpi) and the budgeting
+// core (internal/core): a Run resolves each rank's steady-state operating
+// point under the requested control mode, simulates the SPMD program,
+// accounts energy through the MSR counters, and reports per-rank and
+// aggregate results.
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"varpower/internal/cluster"
+	"varpower/internal/hw/module"
+	"varpower/internal/simmpi"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+	"varpower/internal/xrand"
+)
+
+// Mode selects how module power/frequency is controlled during a run.
+type Mode int
+
+// Control modes.
+const (
+	// ModeUncapped: no limits; modules turbo up to the platform ceiling.
+	ModeUncapped Mode = iota
+	// ModeCapped: per-module RAPL package power caps (the PC strategy).
+	ModeCapped
+	// ModePinned: per-module fixed frequencies via cpufreq (the FS strategy).
+	ModePinned
+)
+
+// ErrInfeasible reports that a module cannot satisfy its power cap at any
+// operating point — the paper's "cannot be operated even with the minimum
+// CPU frequency".
+var ErrInfeasible = errors.New("measure: power cap below module's feasible range")
+
+// DefaultRunNoiseSigma is the per-run relative timing noise. The paper
+// reports < 0.5% run-to-run variation for EP on a fixed socket; 0.1%
+// matches that comfortably while keeping distinct runs distinguishable.
+const DefaultRunNoiseSigma = 0.001
+
+// Config describes one run.
+type Config struct {
+	Bench *workload.Benchmark
+	// Modules lists the module ID running each rank (rank i on Modules[i]).
+	Modules []int
+
+	Mode Mode
+	// CPUCaps are the per-rank RAPL package limits (ModeCapped).
+	CPUCaps []units.Watts
+	// Freqs are the per-rank pinned frequencies (ModePinned).
+	Freqs []units.Hertz
+	// Window is the RAPL averaging window; the paper uses 1 ms.
+	Window units.Seconds
+
+	// Net overrides the interconnect model; zero value uses
+	// simmpi.DefaultNetwork.
+	Net simmpi.Network
+	// Nonce distinguishes repeated runs of the same configuration for the
+	// (small) run-to-run timing noise.
+	Nonce uint64
+	// RunNoiseSigma overrides DefaultRunNoiseSigma when >= 0 is set via
+	// ExplicitNoise; leave nil for the default.
+	RunNoiseSigma *float64
+}
+
+// ExplicitNoise returns a pointer for Config.RunNoiseSigma (0 disables
+// run-to-run noise entirely, useful in exactness tests).
+func ExplicitNoise(sigma float64) *float64 { return &sigma }
+
+// RankResult is the measured outcome for one rank/module.
+type RankResult struct {
+	Rank     int
+	ModuleID int
+
+	// Op is the steady-state operating point the rank ran at.
+	Op module.OperatingPoint
+
+	Busy     units.Seconds
+	Wait     units.Seconds
+	Sendrecv units.Seconds
+	End      units.Seconds
+
+	// Energies read back from the MSR counters over the full run.
+	PkgEnergy  units.Joules
+	DramEnergy units.Joules
+
+	// Average powers over the application's elapsed time (what Figure 9
+	// reports per module).
+	AvgCPUPower  units.Watts
+	AvgDramPower units.Watts
+}
+
+// AvgModulePower is the rank's average CPU+DRAM power.
+func (r RankResult) AvgModulePower() units.Watts { return r.AvgCPUPower + r.AvgDramPower }
+
+// Result is a full run outcome.
+type Result struct {
+	Ranks   []RankResult
+	Elapsed units.Seconds
+
+	// TotalEnergy is the summed module energy of the run.
+	TotalEnergy units.Joules
+	// AvgTotalPower is TotalEnergy / Elapsed — the quantity the paper's
+	// Figure 9 compares against the system power constraint.
+	AvgTotalPower units.Watts
+}
+
+// Run executes cfg on the system.
+func Run(sys *cluster.System, cfg Config) (Result, error) {
+	if err := validate(sys, &cfg); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Modules)
+	prof := cfg.Bench.ProfileFor(sys.Spec.Arch)
+
+	// Resolve each rank's steady-state operating point.
+	ops := make([]module.OperatingPoint, n)
+	for rank, id := range cfg.Modules {
+		op, err := resolve(sys, cfg, prof, rank, id)
+		if err != nil {
+			return Result{}, err
+		}
+		ops[rank] = op
+	}
+
+	res, err := simulate(sys, cfg, ops)
+	if err != nil {
+		return Result{}, err
+	}
+	return account(sys, cfg, prof, ops, res)
+}
+
+// validate checks the configuration shape.
+func validate(sys *cluster.System, cfg *Config) error {
+	if cfg.Bench == nil {
+		return fmt.Errorf("measure: nil benchmark")
+	}
+	if err := cfg.Bench.Validate(); err != nil {
+		return err
+	}
+	if len(cfg.Modules) == 0 {
+		return fmt.Errorf("measure: empty module list")
+	}
+	for _, id := range cfg.Modules {
+		if id < 0 || id >= sys.NumModules() {
+			return fmt.Errorf("measure: module %d outside [0,%d)", id, sys.NumModules())
+		}
+	}
+	switch cfg.Mode {
+	case ModeCapped:
+		if !sys.Spec.Measurement.SupportsCapping() {
+			return fmt.Errorf("measure: %s (%s) does not support power capping", sys.Spec.Name, sys.Spec.Measurement)
+		}
+		if len(cfg.CPUCaps) != len(cfg.Modules) {
+			return fmt.Errorf("measure: %d caps for %d ranks", len(cfg.CPUCaps), len(cfg.Modules))
+		}
+	case ModePinned:
+		if len(cfg.Freqs) != len(cfg.Modules) {
+			return fmt.Errorf("measure: %d frequencies for %d ranks", len(cfg.Freqs), len(cfg.Modules))
+		}
+	case ModeUncapped:
+	default:
+		return fmt.Errorf("measure: unknown mode %d", cfg.Mode)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 0.001 // the paper's 1 ms RAPL window
+	}
+	if cfg.Net == (simmpi.Network{}) {
+		cfg.Net = simmpi.DefaultNetwork
+	}
+	return nil
+}
+
+// resolve determines one rank's operating point under the control mode.
+func resolve(sys *cluster.System, cfg Config, prof module.PowerProfile, rank, id int) (module.OperatingPoint, error) {
+	switch cfg.Mode {
+	case ModeUncapped:
+		ctl := sys.RAPL(id)
+		if err := ctl.ClearPkgLimit(); err != nil {
+			return module.OperatingPoint{}, err
+		}
+		sys.Governor(id).Release()
+		op, ok := ctl.OperatingPoint(prof)
+		if !ok {
+			return module.OperatingPoint{}, fmt.Errorf("measure: uncapped resolution failed on module %d", id)
+		}
+		return op, nil
+
+	case ModeCapped:
+		ctl := sys.RAPL(id)
+		if err := ctl.SetPkgLimit(cfg.CPUCaps[rank], cfg.Window); err != nil {
+			return module.OperatingPoint{}, err
+		}
+		op, ok := ctl.OperatingPoint(prof)
+		if !ok {
+			return module.OperatingPoint{}, fmt.Errorf("%w: module %d cap %v", ErrInfeasible, id, cfg.CPUCaps[rank])
+		}
+		return op, nil
+
+	case ModePinned:
+		gov := sys.Governor(id)
+		if _, err := gov.SetSpeed(cfg.Freqs[rank]); err != nil {
+			return module.OperatingPoint{}, err
+		}
+		return gov.OperatingPoint(prof), nil
+	}
+	return module.OperatingPoint{}, fmt.Errorf("measure: unreachable mode %d", cfg.Mode)
+}
+
+// simulate runs the SPMD program with per-rank timing derived from the
+// operating points plus the small run-to-run noise.
+func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint) (simmpi.Result, error) {
+	n := len(cfg.Modules)
+	prog, err := cfg.Bench.Program(n, sys.Seed)
+	if err != nil {
+		return simmpi.Result{}, err
+	}
+	noiseSigma := DefaultRunNoiseSigma
+	if cfg.RunNoiseSigma != nil {
+		noiseSigma = *cfg.RunNoiseSigma
+	}
+	noise := make([]float64, n)
+	for rank := range noise {
+		noise[rank] = 1
+		if noiseSigma > 0 {
+			rng := xrand.NewKeyed(sys.Seed, xrand.HashString("runnoise"),
+				xrand.HashString(cfg.Bench.Name), uint64(cfg.Modules[rank]), cfg.Nonce)
+			noise[rank] = 1 + rng.TruncNormal(0, noiseSigma, -3, 3)
+		}
+	}
+	arch := sys.Spec.Arch
+	model := simmpi.ModelFunc(func(rank int, cycles, bytes float64) units.Seconds {
+		f := ops[rank].Freq
+		if f <= 0 {
+			return units.Seconds(1e18)
+		}
+		t := cycles / float64(f)
+		if bytes > 0 {
+			t += bytes / arch.MemBWAt(f)
+		}
+		return units.Seconds(t * noise[rank])
+	})
+	return simmpi.Run(prog, n, model, cfg.Net)
+}
+
+// account converts the DES timing into MSR energy-counter activity and
+// reads the counters back into the result.
+func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []module.OperatingPoint, sim simmpi.Result) (Result, error) {
+	n := len(cfg.Modules)
+	out := Result{Ranks: make([]RankResult, n), Elapsed: sim.Elapsed}
+	var totalJ float64
+	for rank := 0; rank < n; rank++ {
+		id := cfg.Modules[rank]
+		ctl := sys.RAPL(id)
+		st := sim.Ranks[rank]
+		// Ranks that finish early sit in the MPI_Finalize barrier (the
+		// PMMD region ends there), busy-polling until the slowest rank
+		// arrives.
+		wait := sim.Elapsed - st.Busy
+		if wait < 0 {
+			wait = 0
+		}
+		// The RAPL energy counters are 32-bit and wrap every ~64 kJ, so —
+		// exactly like libmsr-based tools — poll them periodically rather
+		// than once per run. Thirty virtual seconds per poll keeps each
+		// delta far below one wrap at any plausible module power.
+		chunks := int(float64(sim.Elapsed)/30) + 1
+		var pkgJ, dramJ units.Joules
+		for c := 0; c < chunks; c++ {
+			snap, err := ctl.Snapshot()
+			if err != nil {
+				return Result{}, err
+			}
+			ctl.AccountEnergy(prof, ops[rank],
+				st.Busy/units.Seconds(chunks), wait/units.Seconds(chunks))
+			dp, dd, err := ctl.Since(snap)
+			if err != nil {
+				return Result{}, err
+			}
+			pkgJ += dp
+			dramJ += dd
+		}
+		r := RankResult{
+			Rank: rank, ModuleID: id, Op: ops[rank],
+			Busy: st.Busy, Wait: st.Wait, Sendrecv: st.Sendrecv, End: st.End,
+			PkgEnergy: pkgJ, DramEnergy: dramJ,
+			AvgCPUPower:  units.AvgPower(pkgJ, sim.Elapsed),
+			AvgDramPower: units.AvgPower(dramJ, sim.Elapsed),
+		}
+		out.Ranks[rank] = r
+		totalJ += float64(pkgJ) + float64(dramJ)
+	}
+	out.TotalEnergy = units.Joules(totalJ)
+	out.AvgTotalPower = units.AvgPower(out.TotalEnergy, out.Elapsed)
+	return out, nil
+}
+
+// TestRunResult is what a single-module test run measures: average CPU and
+// DRAM power at a pinned frequency.
+type TestRunResult struct {
+	Freq      units.Hertz
+	CPUPower  units.Watts
+	DramPower units.Watts
+}
+
+// ModulePower is CPU + DRAM power.
+func (t TestRunResult) ModulePower() units.Watts { return t.CPUPower + t.DramPower }
+
+// TestRun performs the paper's low-cost single-module test run: pin module
+// id to frequency f, run the benchmark with a single rank, and report the
+// measured average powers. The run is shortened (minIters) because only
+// steady-state power is needed.
+func TestRun(sys *cluster.System, bench *workload.Benchmark, id int, f units.Hertz) (TestRunResult, error) {
+	short := *bench
+	if short.Iterations > 5 {
+		short.Iterations = 5
+	}
+	res, err := Run(sys, Config{
+		Bench:   &short,
+		Modules: []int{id},
+		Mode:    ModePinned,
+		Freqs:   []units.Hertz{f},
+	})
+	if err != nil {
+		return TestRunResult{}, err
+	}
+	r := res.Ranks[0]
+	return TestRunResult{Freq: r.Op.Freq, CPUPower: r.AvgCPUPower, DramPower: r.AvgDramPower}, nil
+}

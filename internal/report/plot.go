@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders scatter/line data as ASCII — enough to eyeball the shape of
+// a paper figure in a terminal next to its summary table. Multiple series
+// are drawn with distinct markers and listed in a legend.
+
+// Series is one labelled point set.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// plotMarkers are assigned to series in order.
+var plotMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot holds the canvas configuration.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	series []Series
+}
+
+// NewPlot creates a plot with default canvas size.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+// Add appends a series; X and Y must have equal length.
+func (p *Plot) Add(label string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d x vs %d y", label, len(xs), len(ys))
+	}
+	p.series = append(p.series, Series{Label: label, X: xs, Y: ys})
+	return nil
+}
+
+// Render draws the canvas. It returns an error when no finite points exist.
+func (p *Plot) Render() (string, error) {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("report: plot %q has no finite points", p.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	w, h := p.Width, p.Height
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range p.series {
+		marker := plotMarkers[si%len(plotMarkers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			c := int((x - xmin) / (xmax - xmin) * float64(w-1))
+			r := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+			if grid[r][c] != ' ' && grid[r][c] != marker {
+				grid[r][c] = '?' // collision between series
+			} else {
+				grid[r][c] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	lw := len(yTop)
+	if len(yBot) > lw {
+		lw = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", lw)
+		switch r {
+		case 0:
+			label = pad(yTop, lw)
+		case h - 1:
+			label = pad(yBot, lw)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", lw), w/2, xmin, w-w/2, xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", lw), p.XLabel, p.YLabel)
+	}
+	if len(p.series) > 1 {
+		var legend []string
+		for si, s := range p.series {
+			legend = append(legend, fmt.Sprintf("%c %s", plotMarkers[si%len(plotMarkers)], s.Label))
+		}
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", lw), strings.Join(legend, "   "))
+	}
+	return b.String(), nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersPoints(t *testing.T) {
+	p := NewPlot("demo", "x", "y")
+	if err := p.Add("up", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("missing title or marker:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The diagonal's first marker row should hold the max point at the
+	// right edge; the bottom row the min at the left.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row lacks the maximum point:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestPlotMultiSeriesLegend(t *testing.T) {
+	p := NewPlot("two", "", "")
+	_ = p.Add("a", []float64{0, 1}, []float64{0, 1})
+	_ = p.Add("b", []float64{0, 1}, []float64{1, 0})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateAndInvalid(t *testing.T) {
+	p := NewPlot("flat", "", "")
+	_ = p.Add("s", []float64{1, 1, 1}, []float64{5, 5, 5})
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("degenerate ranges should still render: %v", err)
+	}
+
+	q := NewPlot("empty", "", "")
+	if _, err := q.Render(); err == nil {
+		t.Error("empty plot rendered")
+	}
+	r := NewPlot("nan", "", "")
+	_ = r.Add("s", []float64{math.NaN()}, []float64{1})
+	if _, err := r.Render(); err == nil {
+		t.Error("all-NaN plot rendered")
+	}
+	s := NewPlot("bad", "", "")
+	if err := s.Add("s", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	p := NewPlot("mixed", "", "")
+	_ = p.Add("s", []float64{0, math.Inf(1), 2}, []float64{0, 1, 2})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 2 {
+		t.Fatalf("expected 2 plotted points, got:\n%s", out)
+	}
+}

@@ -1,0 +1,218 @@
+// Async engine: a general discrete-event simulator for message-passing
+// programs that are NOT bulk-synchronous SPMD — master/worker farms,
+// pipelines, asymmetric protocols. The lockstep engine in simmpi.go is
+// exact and fast for the paper's SPMD benchmarks; this engine removes the
+// same-op-kind-per-round restriction by simulating tagged point-to-point
+// messages with MPI-style (source, tag) matching and rendezvous timing.
+//
+// Semantics:
+//
+//   - Send(dst, tag, bytes) completes locally after the wire time
+//     (buffered eager send); the message becomes available to the receiver
+//     no earlier than the sender's completion time.
+//   - Recv(src, tag) blocks until a matching message exists and its
+//     arrival time has passed. src may be AnySource.
+//   - Compute advances local time.
+//
+// The engine runs each rank's op stream until it blocks, delivering
+// messages in (time, sender, sequence) order; deadlock (every unfinished
+// rank blocked with no deliverable message) is detected and reported.
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+
+	"varpower/internal/units"
+)
+
+// AnySource matches a receive against any sender (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// Send is an asynchronous tagged message to Dst.
+type Send struct {
+	Dst   int
+	Tag   int
+	Bytes float64
+}
+
+// Recv blocks until a message with matching source and tag arrives. Src
+// may be AnySource.
+type Recv struct {
+	Src int
+	Tag int
+}
+
+func (Send) isOp() {}
+func (Recv) isOp() {}
+
+// AsyncProgram supplies each rank's op stream. Unlike Program, streams may
+// differ arbitrarily between ranks.
+type AsyncProgram interface {
+	// Ops returns rank's complete operation sequence.
+	Ops(rank int) []Op
+}
+
+// AsyncProgramFunc adapts a function to AsyncProgram.
+type AsyncProgramFunc func(rank int) []Op
+
+// Ops implements AsyncProgram.
+func (f AsyncProgramFunc) Ops(rank int) []Op { return f(rank) }
+
+// message is an in-flight or queued message.
+type message struct {
+	src, dst, tag int
+	bytes         float64
+	// available is when the receiver may consume it.
+	available units.Seconds
+	seq       int
+}
+
+// asyncRank is one rank's execution state.
+type asyncRank struct {
+	ops  []Op
+	pc   int
+	now  units.Seconds
+	busy units.Seconds
+	wait units.Seconds
+	xfer units.Seconds
+}
+
+// RunAsync executes the program on size ranks. It returns per-rank stats
+// compatible with the lockstep engine's Result.
+func RunAsync(p AsyncProgram, size int, m Model, net Network) (Result, error) {
+	if size < 1 {
+		return Result{}, fmt.Errorf("simmpi: async size %d < 1", size)
+	}
+	ranks := make([]asyncRank, size)
+	for r := range ranks {
+		ranks[r].ops = p.Ops(r)
+	}
+	// Mailboxes: per destination, the queue of sent messages in arrival
+	// order (stable by sequence to preserve MPI's non-overtaking rule per
+	// sender).
+	mail := make([][]message, size)
+	seq := 0
+
+	// advance runs one rank until it blocks or finishes; returns whether
+	// it made progress.
+	advance := func(r int) (bool, error) {
+		rk := &ranks[r]
+		progressed := false
+		for rk.pc < len(rk.ops) {
+			switch op := rk.ops[rk.pc].(type) {
+			case Compute:
+				dt := m.ComputeTime(r, op.Cycles, op.Bytes)
+				if dt < 0 {
+					return false, fmt.Errorf("simmpi: negative compute time at rank %d", r)
+				}
+				rk.now += dt
+				rk.busy += dt
+			case Send:
+				if op.Dst < 0 || op.Dst >= size {
+					return false, fmt.Errorf("simmpi: rank %d sends to %d outside [0,%d)", r, op.Dst, size)
+				}
+				cost := net.transfer(op.Bytes)
+				rk.now += cost
+				rk.xfer += cost
+				mail[op.Dst] = append(mail[op.Dst], message{
+					src: r, dst: op.Dst, tag: op.Tag, bytes: op.Bytes,
+					available: rk.now, seq: seq,
+				})
+				seq++
+			case Recv:
+				idx := matchMessage(mail[r], op)
+				if idx < 0 {
+					return progressed, nil // blocked
+				}
+				msg := mail[r][idx]
+				mail[r] = append(mail[r][:idx], mail[r][idx+1:]...)
+				if msg.available > rk.now {
+					rk.wait += msg.available - rk.now
+					rk.now = msg.available
+				}
+			case Barrier, Allreduce, Sendrecv:
+				return false, fmt.Errorf("simmpi: collective op %T not supported by the async engine; use Run", op)
+			default:
+				return false, fmt.Errorf("simmpi: unknown op %T at rank %d", op, r)
+			}
+			rk.pc++
+			progressed = true
+		}
+		return progressed, nil
+	}
+
+	// Round-robin until quiescent; since every advance() runs a rank as
+	// far as possible, a full pass with no progress and unfinished ranks
+	// is a deadlock.
+	for {
+		progressed := false
+		done := 0
+		for r := 0; r < size; r++ {
+			if ranks[r].pc >= len(ranks[r].ops) {
+				done++
+				continue
+			}
+			p, err := advance(r)
+			if err != nil {
+				return Result{}, err
+			}
+			if p {
+				progressed = true
+			}
+			if ranks[r].pc >= len(ranks[r].ops) {
+				done++
+			}
+		}
+		if done == size {
+			break
+		}
+		if !progressed {
+			return Result{}, deadlockError(ranks)
+		}
+	}
+
+	res := Result{Ranks: make([]RankStats, size)}
+	for r := range ranks {
+		res.Ranks[r] = RankStats{
+			End:  ranks[r].now,
+			Busy: ranks[r].busy,
+			Wait: ranks[r].wait,
+			Xfer: ranks[r].xfer,
+		}
+		if ranks[r].now > res.Elapsed {
+			res.Elapsed = ranks[r].now
+		}
+	}
+	return res, nil
+}
+
+// matchMessage finds the first queued message matching the receive,
+// honouring per-sender ordering: among candidates, the lowest sequence
+// number wins.
+func matchMessage(queue []message, op Recv) int {
+	best := -1
+	for i, msg := range queue {
+		if op.Src != AnySource && msg.src != op.Src {
+			continue
+		}
+		if msg.tag != op.Tag {
+			continue
+		}
+		if best < 0 || msg.seq < queue[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+func deadlockError(ranks []asyncRank) error {
+	var blocked []int
+	for r := range ranks {
+		if ranks[r].pc < len(ranks[r].ops) {
+			blocked = append(blocked, r)
+		}
+	}
+	sort.Ints(blocked)
+	return fmt.Errorf("simmpi: deadlock — ranks %v blocked in Recv with no matching message", blocked)
+}

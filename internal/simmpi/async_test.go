@@ -1,0 +1,178 @@
+package simmpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"varpower/internal/units"
+)
+
+func asyncProgram(ops ...[]Op) AsyncProgram {
+	return AsyncProgramFunc(func(rank int) []Op { return ops[rank] })
+}
+
+func TestAsyncPingPong(t *testing.T) {
+	net := Network{Latency: 1, Bandwidth: 1e12}
+	p := asyncProgram(
+		[]Op{Send{Dst: 1, Tag: 0, Bytes: 8}, Recv{Src: 1, Tag: 1}},
+		[]Op{Recv{Src: 0, Tag: 0}, Send{Dst: 0, Tag: 1, Bytes: 8}},
+	)
+	res, err := RunAsync(p, 2, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0: send completes at 1; rank 1 receives at 1, sends back
+	// completing at 2; rank 0 receives at 2.
+	if math.Abs(float64(res.Ranks[0].End)-2) > 1e-9 {
+		t.Fatalf("rank 0 end %v, want 2", res.Ranks[0].End)
+	}
+	if math.Abs(float64(res.Ranks[1].Wait)-1) > 1e-6 {
+		t.Fatalf("rank 1 wait %v, want ≈ 1 (blocked until the first send lands)", res.Ranks[1].Wait)
+	}
+}
+
+func TestAsyncMasterWorker(t *testing.T) {
+	// A farm: master sends one task to each of three workers, collects
+	// results. Workers have unequal compute times; the master's total time
+	// is bounded by the slowest worker.
+	const workers = 3
+	master := []Op{}
+	for w := 1; w <= workers; w++ {
+		master = append(master, Send{Dst: w, Tag: 1, Bytes: 100})
+	}
+	for w := 1; w <= workers; w++ {
+		master = append(master, Recv{Src: AnySource, Tag: 2})
+	}
+	prog := AsyncProgramFunc(func(rank int) []Op {
+		if rank == 0 {
+			return master
+		}
+		return []Op{
+			Recv{Src: 0, Tag: 1},
+			Compute{Cycles: float64(rank) * 5}, // worker w takes 5w seconds
+			Send{Dst: 0, Tag: 2, Bytes: 10},
+		}
+	})
+	res, err := RunAsync(prog, workers+1, unitModel(), Network{Latency: 0.001, Bandwidth: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slowest worker computes 15 s; master must end just after.
+	if res.Elapsed < 15 || res.Elapsed > 16 {
+		t.Fatalf("elapsed %v, want ≈ 15", res.Elapsed)
+	}
+	if res.Ranks[0].Wait < 14 {
+		t.Fatalf("master wait %v, want ≈ 15 (idle while workers compute)", res.Ranks[0].Wait)
+	}
+}
+
+func TestAsyncNonOvertaking(t *testing.T) {
+	// Two messages with the same tag from one sender must be received in
+	// send order (MPI's non-overtaking rule).
+	p := asyncProgram(
+		[]Op{
+			Compute{Cycles: 1},
+			Send{Dst: 1, Tag: 0, Bytes: 1e12}, // large: slow wire, arrives late
+			Send{Dst: 1, Tag: 0, Bytes: 1},    // small: would overtake if allowed
+		},
+		[]Op{Recv{Src: 0, Tag: 0}, Recv{Src: 0, Tag: 0}},
+	)
+	net := Network{Latency: 0.001, Bandwidth: 1e12}
+	res, err := RunAsync(p, 2, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If the rule held, the receiver's first receive waits for the big
+	// message; total receiver time ≥ the big transfer's completion.
+	if res.Ranks[1].End < 1 {
+		t.Fatalf("receiver finished at %v before the first (slow) message landed", res.Ranks[1].End)
+	}
+}
+
+func TestAsyncAnySource(t *testing.T) {
+	p := asyncProgram(
+		[]Op{Recv{Src: AnySource, Tag: 7}, Recv{Src: AnySource, Tag: 7}},
+		[]Op{Compute{Cycles: 3}, Send{Dst: 0, Tag: 7, Bytes: 1}},
+		[]Op{Compute{Cycles: 1}, Send{Dst: 0, Tag: 7, Bytes: 1}},
+	)
+	res, err := RunAsync(p, 3, unitModel(), Network{Latency: 0.001, Bandwidth: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 consumes whichever arrives; it ends with the later sender.
+	if res.Ranks[0].End < 3 {
+		t.Fatalf("rank 0 ended %v before the slower sender finished", res.Ranks[0].End)
+	}
+}
+
+func TestAsyncDeadlockDetected(t *testing.T) {
+	p := asyncProgram(
+		[]Op{Recv{Src: 1, Tag: 0}},
+		[]Op{Recv{Src: 0, Tag: 0}},
+	)
+	_, err := RunAsync(p, 2, unitModel(), zeroNet())
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestAsyncTagMismatchDeadlocks(t *testing.T) {
+	p := asyncProgram(
+		[]Op{Send{Dst: 1, Tag: 5, Bytes: 1}, Recv{Src: 1, Tag: 5}},
+		[]Op{Recv{Src: 0, Tag: 6}},
+	)
+	if _, err := RunAsync(p, 2, unitModel(), zeroNet()); err == nil {
+		t.Fatal("tag mismatch should deadlock")
+	}
+}
+
+func TestAsyncRejectsCollectives(t *testing.T) {
+	p := asyncProgram([]Op{Barrier{}})
+	if _, err := RunAsync(p, 1, unitModel(), zeroNet()); err == nil {
+		t.Fatal("collective accepted by the async engine")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(asyncProgram([]Op{}), 0, unitModel(), zeroNet()); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	p := asyncProgram([]Op{Send{Dst: 9, Tag: 0}})
+	if _, err := RunAsync(p, 1, unitModel(), zeroNet()); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	bad := ModelFunc(func(int, float64, float64) units.Seconds { return -1 })
+	p = asyncProgram([]Op{Compute{Cycles: 1}})
+	if _, err := RunAsync(p, 1, bad, zeroNet()); err == nil {
+		t.Fatal("negative compute time accepted")
+	}
+}
+
+func TestAsyncMatchesLockstepOnSPMDChain(t *testing.T) {
+	// A two-rank compute/exchange chain expressed both ways must agree on
+	// end times (Sendrecv == paired Send+Recv at zero latency asymmetry).
+	net := Network{Latency: 0.5, Bandwidth: 1e12}
+	lock := sliceProgram{ops: [][]Op{
+		{Compute{Cycles: 4}, Sendrecv{Peers: []int{1}, Bytes: 1}},
+		{Compute{Cycles: 2}, Sendrecv{Peers: []int{0}, Bytes: 1}},
+	}}
+	lockRes, err := Run(lock, 2, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := asyncProgram(
+		[]Op{Compute{Cycles: 4}, Send{Dst: 1, Tag: 0, Bytes: 1}, Recv{Src: 1, Tag: 0}},
+		[]Op{Compute{Cycles: 2}, Send{Dst: 0, Tag: 0, Bytes: 1}, Recv{Src: 0, Tag: 0}},
+	)
+	asyncRes, err := RunAsync(async, 2, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both models: slow rank dominates; end ≈ max(compute) + wire.
+	for r := 0; r < 2; r++ {
+		if math.Abs(float64(lockRes.Ranks[r].End-asyncRes.Ranks[r].End)) > 0.51 {
+			t.Fatalf("rank %d: lockstep %v vs async %v", r, lockRes.Ranks[r].End, asyncRes.Ranks[r].End)
+		}
+	}
+}

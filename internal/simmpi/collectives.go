@@ -1,0 +1,71 @@
+package simmpi
+
+// Collective lowering for the async engine: the lockstep engine treats
+// Barrier and Allreduce as primitives, but an asymmetric program running
+// under RunAsync must express them as point-to-point messages, exactly as
+// MPI implementations do. LowerAllreduce and LowerBarrier emit each rank's
+// share of a binomial-tree reduce followed by a broadcast — O(log n)
+// rounds, matching the lockstep engine's collectiveCost model — on a
+// reserved tag.
+
+// Collective tags: user programs should avoid tags at or above
+// CollectiveTagBase.
+const (
+	// CollectiveTagBase is the first tag reserved for lowered collectives.
+	CollectiveTagBase = 1 << 20
+	reduceTag         = CollectiveTagBase
+	bcastTag          = CollectiveTagBase + 1
+)
+
+// LowerAllreduce returns rank's op sequence for an allreduce of the given
+// payload across size ranks rooted at rank 0: a binomial-tree reduction up
+// to the root followed by a binomial-tree broadcast down. Appending the
+// returned ops at the same logical point in every rank's program
+// implements the collective.
+func LowerAllreduce(rank, size int, bytes float64) []Op {
+	if size <= 1 {
+		return nil
+	}
+	var ops []Op
+	// Reduce: at round k (mask = 1<<k), ranks with the mask bit set send
+	// their partial to rank^mask and leave the reduction; ranks without it
+	// receive from rank|mask if that peer exists.
+	for mask := 1; mask < size; mask <<= 1 {
+		if rank&(mask-1) != 0 {
+			continue // already left the reduction in an earlier round
+		}
+		if rank&mask != 0 {
+			ops = append(ops, Send{Dst: rank &^ mask, Tag: reduceTag, Bytes: bytes})
+		} else if peer := rank | mask; peer < size {
+			ops = append(ops, Recv{Src: peer, Tag: reduceTag})
+		}
+	}
+	// Broadcast: mirror image, from the root back down.
+	for mask := highestPow2Below(size); mask >= 1; mask >>= 1 {
+		if rank&(mask-1) != 0 {
+			continue
+		}
+		if rank&mask != 0 {
+			ops = append(ops, Recv{Src: rank &^ mask, Tag: bcastTag})
+		} else if peer := rank | mask; peer < size {
+			ops = append(ops, Send{Dst: peer, Tag: bcastTag, Bytes: bytes})
+		}
+	}
+	return ops
+}
+
+// LowerBarrier returns rank's op sequence for a barrier: an allreduce of a
+// zero-byte payload.
+func LowerBarrier(rank, size int) []Op {
+	return LowerAllreduce(rank, size, 0)
+}
+
+// highestPow2Below returns the largest power of two strictly below n
+// (n ≥ 2).
+func highestPow2Below(n int) int {
+	p := 1
+	for p<<1 < n {
+		p <<= 1
+	}
+	return p
+}

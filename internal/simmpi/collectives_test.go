@@ -1,0 +1,134 @@
+package simmpi
+
+import (
+	"math"
+	"testing"
+)
+
+// lowerProgram builds a per-rank program: a rank-dependent compute phase
+// followed by a lowered collective.
+func lowerProgram(size int, compute func(rank int) float64, collective func(rank int) []Op) AsyncProgram {
+	return AsyncProgramFunc(func(rank int) []Op {
+		ops := []Op{Compute{Cycles: compute(rank)}}
+		return append(ops, collective(rank)...)
+	})
+}
+
+func TestLoweredBarrierSynchronizes(t *testing.T) {
+	for _, size := range []int{2, 3, 4, 7, 8, 16, 33} {
+		p := lowerProgram(size,
+			func(rank int) float64 { return float64(rank + 1) },
+			func(rank int) []Op { return LowerBarrier(rank, size) },
+		)
+		res, err := RunAsync(p, size, unitModel(), Network{Latency: 1e-6, Bandwidth: 1e12})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		// After the barrier every rank's end time is at least the slowest
+		// rank's compute time.
+		slowest := float64(size)
+		for r, st := range res.Ranks {
+			if float64(st.End) < slowest {
+				t.Fatalf("size %d: rank %d ended at %v before the slowest compute (%v)",
+					size, r, st.End, slowest)
+			}
+			// And nobody is far beyond it: the tree costs log2(n) hops.
+			if float64(st.End) > slowest+1e-3 {
+				t.Fatalf("size %d: rank %d ended at %v, way past the barrier", size, r, st.End)
+			}
+		}
+	}
+}
+
+func TestLoweredAllreduceMatchesLockstepCost(t *testing.T) {
+	// With equal compute, the lowered allreduce's latency must be within a
+	// small factor of the lockstep engine's analytic tree cost.
+	const size = 16
+	net := Network{Latency: 0.001, Bandwidth: 1e12}
+	lock := sliceProgram{ops: func() [][]Op {
+		ops := make([][]Op, size)
+		for r := range ops {
+			ops[r] = []Op{Allreduce{Bytes: 8}}
+		}
+		return ops
+	}()}
+	lockRes, err := Run(lock, size, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := lowerProgram(size,
+		func(int) float64 { return 0 },
+		func(rank int) []Op { return LowerAllreduce(rank, size, 8) },
+	)
+	asyncRes, err := RunAsync(async, size, unitModel(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(asyncRes.Elapsed) / float64(lockRes.Elapsed)
+	// Reduce+broadcast is 2× the one-way tree depth.
+	if ratio < 1 || ratio > 2.5 {
+		t.Fatalf("lowered allreduce cost %v vs lockstep %v (ratio %v)",
+			asyncRes.Elapsed, lockRes.Elapsed, ratio)
+	}
+}
+
+func TestLoweredCollectiveSingleRank(t *testing.T) {
+	if ops := LowerAllreduce(0, 1, 8); ops != nil {
+		t.Fatalf("single-rank allreduce should be empty, got %v", ops)
+	}
+}
+
+func TestLoweredOpsAreBalanced(t *testing.T) {
+	// Across all ranks, sends and receives must pair up exactly.
+	for _, size := range []int{2, 5, 8, 13, 64} {
+		sends, recvs := 0, 0
+		for r := 0; r < size; r++ {
+			for _, op := range LowerAllreduce(r, size, 4) {
+				switch op.(type) {
+				case Send:
+					sends++
+				case Recv:
+					recvs++
+				}
+			}
+		}
+		if sends != recvs {
+			t.Fatalf("size %d: %d sends vs %d recvs", size, sends, recvs)
+		}
+		// A tree visits every non-root rank once in each direction.
+		if sends != 2*(size-1) {
+			t.Fatalf("size %d: %d messages, want %d", size, sends, 2*(size-1))
+		}
+	}
+}
+
+func TestLoweredAllreducePropagatesSlowest(t *testing.T) {
+	// The defining property: after the collective, everyone has waited for
+	// the slowest participant — the mechanism behind the paper's Figure 3.
+	const size = 8
+	slowRank := 5
+	p := lowerProgram(size,
+		func(rank int) float64 {
+			if rank == slowRank {
+				return 20
+			}
+			return 1
+		},
+		func(rank int) []Op { return LowerAllreduce(rank, size, 8) },
+	)
+	res, err := RunAsync(p, size, unitModel(), Network{Latency: 1e-5, Bandwidth: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range res.Ranks {
+		if float64(st.End) < 20 {
+			t.Fatalf("rank %d finished at %v, before the slow rank", r, st.End)
+		}
+		if r != slowRank && float64(st.Wait) < 18 {
+			t.Fatalf("rank %d waited only %v for the slow rank", r, st.Wait)
+		}
+	}
+	if math.Abs(float64(res.Ranks[slowRank].Wait)) > 0.01 {
+		t.Fatalf("slow rank waited %v, want ≈ 0", res.Ranks[slowRank].Wait)
+	}
+}

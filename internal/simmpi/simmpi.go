@@ -1,0 +1,237 @@
+// Package simmpi is a discrete-event simulator for SPMD message-passing
+// programs — the substrate that stands in for MPI on the paper's 1,920-rank
+// application runs.
+//
+// Programs are bulk-synchronous SPMD: every rank executes the same sequence
+// of operation *kinds* (compute, neighbour exchange, barrier, allreduce),
+// though per-rank parameters (work amounts, peer lists) differ. The engine
+// exploits that structure: it advances all ranks round by round and
+// resolves each communication round exactly — a rank's Sendrecv completes
+// when the slowest participating peer has arrived, a collective completes
+// when the slowest rank in the communicator has arrived. This is the
+// mechanism behind the paper's central performance observation: frequency
+// inhomogeneity hurts unsynchronised codes through per-rank time spread
+// (*DGEMM, Figure 2(iii)) and synchronised codes through wait time at
+// exchanges (MHD, Figure 3).
+//
+// Per-rank accounting separates busy time (compute), transfer time (wire
+// cost of messages) and wait time (blocked on slower peers), so experiments
+// can reproduce both the execution-time plots and the cumulative
+// MPI_Sendrecv-time plots.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+
+	"varpower/internal/units"
+)
+
+// Op is one operation of a rank's program.
+type Op interface{ isOp() }
+
+// Compute models a local computation of Cycles frequency-scaled core cycles
+// plus Bytes of memory traffic.
+type Compute struct {
+	Cycles float64
+	Bytes  float64
+}
+
+// Sendrecv models a simultaneous exchange with each listed peer (the
+// MPI_Sendrecv halo pattern); Bytes is the per-peer message size.
+type Sendrecv struct {
+	Peers []int
+	Bytes float64
+}
+
+// Barrier blocks until every rank arrives.
+type Barrier struct{}
+
+// Allreduce is a barrier plus a tree reduction of Bytes payload.
+type Allreduce struct {
+	Bytes float64
+}
+
+func (Compute) isOp()   {}
+func (Sendrecv) isOp()  {}
+func (Barrier) isOp()   {}
+func (Allreduce) isOp() {}
+
+// Program generates the SPMD operation sequence. Round r of every rank must
+// carry the same operation kind; parameters may differ per rank.
+type Program interface {
+	// Rounds is the number of operation rounds.
+	Rounds() int
+	// Round returns rank's operation for round r.
+	Round(rank, r int) Op
+}
+
+// Model converts a rank's abstract work into time on whatever hardware the
+// rank is running on.
+type Model interface {
+	// ComputeTime returns the wall time rank needs for the given work.
+	ComputeTime(rank int, cycles, bytes float64) units.Seconds
+}
+
+// ModelFunc adapts a function to the Model interface.
+type ModelFunc func(rank int, cycles, bytes float64) units.Seconds
+
+// ComputeTime implements Model.
+func (f ModelFunc) ComputeTime(rank int, cycles, bytes float64) units.Seconds {
+	return f(rank, cycles, bytes)
+}
+
+// Network describes the interconnect cost model: Cost = Latency +
+// Bytes/Bandwidth per message, with collectives paying a log2(size) latency
+// tree.
+type Network struct {
+	Latency   units.Seconds
+	Bandwidth float64 // bytes/s
+}
+
+// DefaultNetwork approximates the FDR InfiniBand fabric of HA8K.
+var DefaultNetwork = Network{Latency: 2e-6, Bandwidth: 5e9}
+
+// transfer returns the wire time for one message of the given size.
+func (n Network) transfer(bytes float64) units.Seconds {
+	if bytes <= 0 {
+		return n.Latency
+	}
+	if n.Bandwidth <= 0 {
+		return n.Latency
+	}
+	return n.Latency + units.Seconds(bytes/n.Bandwidth)
+}
+
+// collectiveCost returns the wire time of a size-rank tree collective.
+func (n Network) collectiveCost(bytes float64, size int) units.Seconds {
+	depth := math.Ceil(math.Log2(float64(size)))
+	if depth < 1 {
+		depth = 1
+	}
+	per := n.transfer(bytes)
+	return units.Seconds(depth) * per
+}
+
+// RankStats is the per-rank timing breakdown of a run.
+type RankStats struct {
+	// End is the rank's virtual completion time.
+	End units.Seconds
+	// Busy is the time spent computing.
+	Busy units.Seconds
+	// Wait is the time spent blocked on slower peers (all op kinds).
+	Wait units.Seconds
+	// Xfer is the wire time of this rank's messages.
+	Xfer units.Seconds
+	// Sendrecv is the cumulative time inside Sendrecv calls (wait + wire) —
+	// the quantity on the x-axis of the paper's Figure 3.
+	Sendrecv units.Seconds
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	Ranks []RankStats
+	// Elapsed is the application's completion time: the slowest rank.
+	Elapsed units.Seconds
+}
+
+// Run executes the program on size ranks against the model and network.
+func Run(p Program, size int, m Model, net Network) (Result, error) {
+	if size < 1 {
+		return Result{}, fmt.Errorf("simmpi: size %d < 1", size)
+	}
+	res := Result{Ranks: make([]RankStats, size)}
+	t := make([]units.Seconds, size)
+	arrive := make([]units.Seconds, size)
+	rounds := p.Rounds()
+
+	for r := 0; r < rounds; r++ {
+		proto := p.Round(0, r)
+		switch proto.(type) {
+		case Compute:
+			for rank := 0; rank < size; rank++ {
+				op, ok := p.Round(rank, r).(Compute)
+				if !ok {
+					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
+				}
+				dt := m.ComputeTime(rank, op.Cycles, op.Bytes)
+				if dt < 0 {
+					return Result{}, fmt.Errorf("simmpi: negative compute time %v at rank %d round %d", dt, rank, r)
+				}
+				t[rank] += dt
+				res.Ranks[rank].Busy += dt
+			}
+
+		case Sendrecv:
+			copy(arrive, t)
+			for rank := 0; rank < size; rank++ {
+				op, ok := p.Round(rank, r).(Sendrecv)
+				if !ok {
+					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
+				}
+				start := arrive[rank]
+				for _, peer := range op.Peers {
+					if peer < 0 || peer >= size {
+						return Result{}, fmt.Errorf("simmpi: rank %d round %d has peer %d outside [0,%d)", rank, r, peer, size)
+					}
+					if arrive[peer] > start {
+						start = arrive[peer]
+					}
+				}
+				xfer := net.transfer(op.Bytes)
+				end := start + xfer
+				st := &res.Ranks[rank]
+				st.Wait += start - arrive[rank]
+				st.Xfer += xfer
+				st.Sendrecv += end - arrive[rank]
+				t[rank] = end
+			}
+
+		case Barrier, Allreduce:
+			copy(arrive, t)
+			var max units.Seconds
+			for rank := 0; rank < size; rank++ {
+				if arrive[rank] > max {
+					max = arrive[rank]
+				}
+			}
+			var cost units.Seconds
+			if ar, ok := proto.(Allreduce); ok {
+				cost = net.collectiveCost(ar.Bytes, size)
+			} else {
+				cost = net.collectiveCost(0, size)
+			}
+			for rank := 0; rank < size; rank++ {
+				if _, same := sameKind(proto, p.Round(rank, r)); !same {
+					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
+				}
+				st := &res.Ranks[rank]
+				st.Wait += max - arrive[rank]
+				st.Xfer += cost
+				t[rank] = max + cost
+			}
+
+		default:
+			return Result{}, fmt.Errorf("simmpi: unknown op %T at round %d", proto, r)
+		}
+	}
+
+	for rank := 0; rank < size; rank++ {
+		res.Ranks[rank].End = t[rank]
+		if t[rank] > res.Elapsed {
+			res.Elapsed = t[rank]
+		}
+	}
+	return res, nil
+}
+
+func sameKind(a, b Op) (string, bool) {
+	ka := fmt.Sprintf("%T", a)
+	kb := fmt.Sprintf("%T", b)
+	return ka, ka == kb
+}
+
+func kindMismatch(round, rank int, want, got Op) error {
+	return fmt.Errorf("simmpi: SPMD violation at round %d: rank %d issues %T while rank 0 issues %T",
+		round, rank, got, want)
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV throws arbitrary text at the trace parser: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("module,seconds,watts\n0,0.0,100\n0,0.3,101\n")
+	f.Add("module,seconds,watts\n")
+	f.Add("garbage")
+	f.Add("module,seconds,watts\n1,2,3\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		series, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, series); err != nil {
+			t.Fatalf("accepted input failed to re-serialise: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if len(back) != len(series) {
+			t.Fatalf("round trip changed series count %d -> %d", len(series), len(back))
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package trace synthesizes and exports per-module power time series from
+// run results — the raw material behind the paper's scatter plots, in the
+// form a measurement campaign would actually store it (per-module CSV
+// traces sampled by one of the Table-1 back-ends).
+//
+// The simulation is steady-state per run, so a module's true trace is
+// piecewise constant: full draw while its rank computes, reduced draw
+// while it busy-polls in MPI waits at the end of the region. A sensor spec
+// overlays sampling cadence, noise and calibration offset.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"varpower/internal/hw/sensors"
+	"varpower/internal/measure"
+	"varpower/internal/units"
+)
+
+// waitCPUFraction mirrors the accounting model in internal/hw/rapl: MPI
+// busy-polling burns most of the compute-time CPU power.
+const waitCPUFraction = 0.92
+
+// Series is one module's sampled power trace.
+type Series struct {
+	ModuleID int
+	Samples  []sensors.Sample
+}
+
+// FromRun builds sensor-sampled traces for every rank of a run. Each
+// module's true signal is its operating-point module power until its rank
+// stops computing, then the reduced busy-wait draw until the application
+// ends; the spec's sensor (attached per module, deterministic in seed)
+// samples it.
+func FromRun(res measure.Result, spec sensors.Spec, seed uint64) []Series {
+	out := make([]Series, 0, len(res.Ranks))
+	for _, r := range res.Ranks {
+		sensor := sensors.Attach(spec, seed, r.ModuleID)
+		busyPower := r.Op.ModulePower()
+		waitPower := units.Watts(float64(r.Op.CPUPower)*waitCPUFraction) + r.Op.DramPower
+		busy := sensor.Trace(busyPower, r.Busy)
+		tail := sensor.Trace(waitPower, res.Elapsed-r.Busy)
+		samples := make([]sensors.Sample, 0, len(busy)+len(tail))
+		samples = append(samples, busy...)
+		for _, s := range tail {
+			s.At += r.Busy
+			samples = append(samples, s)
+		}
+		out = append(out, Series{ModuleID: r.ModuleID, Samples: samples})
+	}
+	return out
+}
+
+// WriteCSV writes the traces as long-form CSV: module,seconds,watts.
+func WriteCSV(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "module,seconds,watts"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Samples {
+			if _, err := fmt.Fprintf(bw, "%d,%.6f,%.3f\n", s.ModuleID, float64(p.At), float64(p.Power)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses traces written by WriteCSV, preserving module order of
+// first appearance.
+func ReadCSV(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "module,seconds,watts" {
+		return nil, fmt.Errorf("trace: unexpected header %q", got)
+	}
+	index := map[int]int{}
+	var out []Series
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: line %d: %d fields", line, len(parts))
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d module: %w", line, err)
+		}
+		at, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d seconds: %w", line, err)
+		}
+		watts, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d watts: %w", line, err)
+		}
+		i, ok := index[id]
+		if !ok {
+			i = len(out)
+			index[id] = i
+			out = append(out, Series{ModuleID: id})
+		}
+		out[i].Samples = append(out[i].Samples, sensors.Sample{
+			At:    units.Seconds(at),
+			Power: units.Watts(watts),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Average returns a series' mean power, or an error for an empty series.
+func (s Series) Average() (units.Watts, error) {
+	return sensors.Average(s.Samples)
+}
+
+// Energy integrates the trace (rectangle rule at the sampling interval),
+// returning total joules. It requires at least two samples to infer the
+// interval.
+func (s Series) Energy() (units.Joules, error) {
+	if len(s.Samples) < 2 {
+		return 0, fmt.Errorf("trace: series for module %d too short to integrate", s.ModuleID)
+	}
+	dt := float64(s.Samples[1].At - s.Samples[0].At)
+	if dt <= 0 {
+		return 0, fmt.Errorf("trace: non-increasing timestamps for module %d", s.ModuleID)
+	}
+	var sum float64
+	for _, p := range s.Samples {
+		sum += float64(p.Power) * dt
+	}
+	return units.Joules(sum), nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/hw/sensors"
+	"varpower/internal/measure"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+func testRun(t *testing.T) (*cluster.System, measure.Result) {
+	t.Helper()
+	sys := cluster.MustNew(cluster.HA8K(), 4, 0x5c15)
+	ids, _ := sys.AllocateFirst(4)
+	res, err := measure.Run(sys, measure.Config{Bench: workload.MHD(), Modules: ids, Mode: measure.ModeUncapped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, res
+}
+
+func TestFromRunShape(t *testing.T) {
+	_, res := testRun(t)
+	series := FromRun(res, sensors.EMON, 1)
+	if len(series) != 4 {
+		t.Fatalf("series count %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Samples) == 0 {
+			t.Fatalf("module %d has no samples", s.ModuleID)
+		}
+		// Samples must be ordered in time and cover roughly the run.
+		last := units.Seconds(-1)
+		for _, p := range s.Samples {
+			if p.At <= last {
+				t.Fatalf("module %d timestamps not increasing", s.ModuleID)
+			}
+			last = p.At
+		}
+		if float64(last) < float64(res.Elapsed)*0.9 {
+			t.Fatalf("module %d trace ends at %v, run elapsed %v", s.ModuleID, last, res.Elapsed)
+		}
+	}
+}
+
+func TestTraceAverageNearOpPower(t *testing.T) {
+	_, res := testRun(t)
+	series := FromRun(res, sensors.PowerInsight, 1)
+	for i, s := range series {
+		avg, err := s.Average()
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(res.Ranks[i].Op.ModulePower())
+		// Busy-wait tails pull the average a little below the operating
+		// point; sensor offset adds ±1 W.
+		if float64(avg) > truth+2 || float64(avg) < truth*0.85 {
+			t.Fatalf("module %d trace average %v vs op power %v", s.ModuleID, avg, truth)
+		}
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	_, res := testRun(t)
+	series := FromRun(res, sensors.PowerInsight, 1)
+	for i, s := range series {
+		j, err := s.Energy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare with the MSR-counter energy of the same rank; the trace
+		// is a noisy resampling of the same signal.
+		counter := float64(res.Ranks[i].PkgEnergy + res.Ranks[i].DramEnergy)
+		if math.Abs(float64(j)-counter)/counter > 0.1 {
+			t.Fatalf("module %d: trace energy %v vs counter %v", s.ModuleID, j, counter)
+		}
+	}
+	short := Series{ModuleID: 0}
+	if _, err := short.Energy(); err == nil {
+		t.Error("empty series integrated")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	_, res := testRun(t)
+	series := FromRun(res, sensors.EMON, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(series) {
+		t.Fatalf("round trip series count %d vs %d", len(back), len(series))
+	}
+	for i := range back {
+		if back[i].ModuleID != series[i].ModuleID {
+			t.Fatal("module order lost")
+		}
+		if len(back[i].Samples) != len(series[i].Samples) {
+			t.Fatal("sample count changed")
+		}
+		for j := range back[i].Samples {
+			dp := math.Abs(float64(back[i].Samples[j].Power - series[i].Samples[j].Power))
+			if dp > 0.001 {
+				t.Fatalf("power changed by %v in round trip", dp)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,here\n1,0.0,10",
+		"module,seconds,watts\nnot-a-number,0.0,10",
+		"module,seconds,watts\n1,xx,10",
+		"module,seconds,watts\n1,0.0,yy",
+		"module,seconds,watts\n1,0.0",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package variability models the manufacturing variation that the paper
+// measures on production systems (Section 2.1, Section 4).
+//
+// Each module (a CPU socket plus its DRAM) receives a set of latent factors
+// drawn once, deterministically, from the system seed and the module ID:
+//
+//   - Leak: scales static/leakage CPU power. Lithographic distortions in
+//     channel length and film thickness change threshold voltage and hence
+//     subthreshold leakage; this is the dominant die-to-die power effect and
+//     is modelled as lognormal.
+//   - Dyn: scales dynamic (switching) CPU power — effective capacitance
+//     variation. Smaller, modelled as a truncated normal around 1.
+//   - Dram: scales DRAM power. The paper observes much larger DRAM power
+//     variation (Vp ≈ 2.8 versus ≈ 1.3 for modules), so this lognormal is
+//     wide.
+//   - TurboMul: scales the maximum achievable turbo frequency. Zero spread
+//     for frequency-binned parts (Intel, IBM); non-zero for Teller's AMD
+//     Piledriver, where Turbo Core gives leakier (higher-power) parts more
+//     frequency headroom — reproducing the paper's observed *negative*
+//     correlation between slowdown and power on Teller.
+//
+// A workload-specific residual (Residual) captures the fact that two
+// workloads do not load a given die identically: module k may draw 1.2× the
+// average on *STREAM* but 1.17× on NPB-BT. This residual is what limits the
+// accuracy of PVT-based calibration (Section 5.3: < 5% typical, ~10% for
+// NPB-BT) and therefore what separates VaPc from the oracle VaPcOr.
+package variability
+
+import (
+	"fmt"
+	"math"
+
+	"varpower/internal/xrand"
+)
+
+// Factors holds one module's latent manufacturing-variation factors. All
+// factors are multiplicative scales with population mean ≈ 1.
+type Factors struct {
+	Leak     float64 // static/leakage CPU power scale
+	Dyn      float64 // dynamic CPU power scale
+	Dram     float64 // DRAM power scale
+	TurboMul float64 // max turbo frequency scale (1.0 on binned parts)
+}
+
+// Profile is the generative description of an architecture's variation.
+// Values are calibrated per system so that population statistics match the
+// paper's measurements (e.g. 23% max CPU power increase on Cab, 11% on
+// Vulcan, 21% power / 17% performance on Teller, module Vp ≈ 1.3 and DRAM
+// Vp ≈ 2.8 on HA8K).
+type Profile struct {
+	// LeakSigma is the lognormal sigma of the leakage factor.
+	LeakSigma float64
+	// DynSigma is the (truncated) normal sigma of the dynamic factor.
+	DynSigma float64
+	// DramSigma is the lognormal sigma of the DRAM factor.
+	DramSigma float64
+	// TurboSpread is the full ±range of the turbo multiplier; 0 means the
+	// parts are frequency-binned and all reach the same turbo ceiling.
+	TurboSpread float64
+	// TurboLeakCorr in [-1, 1] correlates the turbo multiplier with the
+	// leakage factor. Positive values make leaky (power-hungry) parts
+	// faster, which produces Teller's negative slowdown/power correlation.
+	TurboLeakCorr float64
+}
+
+// Validate reports an error for physically meaningless profiles.
+func (p Profile) Validate() error {
+	switch {
+	case p.LeakSigma < 0 || p.DynSigma < 0 || p.DramSigma < 0:
+		return fmt.Errorf("variability: negative sigma in profile %+v", p)
+	case p.TurboSpread < 0:
+		return fmt.Errorf("variability: negative turbo spread %v", p.TurboSpread)
+	case p.TurboLeakCorr < -1 || p.TurboLeakCorr > 1:
+		return fmt.Errorf("variability: turbo/leak correlation %v outside [-1,1]", p.TurboLeakCorr)
+	}
+	return nil
+}
+
+// Generate draws the factors for one module. The draw depends only on
+// (seed, moduleID, profile), so module identities are stable across runs,
+// processes, and evaluation orders.
+func Generate(seed uint64, moduleID int, p Profile) Factors {
+	rng := xrand.NewKeyed(seed, 0x6d6f64756c65 /* "module" */, uint64(moduleID))
+	// zLeak is kept explicitly so the turbo multiplier can correlate with it.
+	zLeak := rng.Normal(0, 1)
+	zTurbo := rng.Normal(0, 1)
+	f := Factors{
+		Leak: lognormFromZ(zLeak, p.LeakSigma),
+		Dyn:  clampPositive(1 + p.DynSigma*rng.TruncNormal(0, 1, -3.5, 3.5)),
+		Dram: rng.LogNormal(0, p.DramSigma),
+	}
+	if p.TurboSpread == 0 {
+		f.TurboMul = 1
+	} else {
+		c := p.TurboLeakCorr
+		z := c*zLeak + sqrt1m(c)*zTurbo
+		// Spread is interpreted as ±spread/2 over ±2σ of z.
+		f.TurboMul = clampPositive(1 + p.TurboSpread/4*z)
+	}
+	return f
+}
+
+// Residual returns the multiplicative deviation of this module's power on a
+// particular workload from what its latent factors predict, with the given
+// workload-specific sigma. It is deterministic in (seed, moduleID,
+// workload), so repeated runs of the same benchmark see the same residual —
+// matching the paper's observation that EP varies < 0.5% across 15
+// iterations on the same socket while differing across sockets.
+func Residual(seed uint64, moduleID int, workload string, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	rng := xrand.NewKeyed(seed, 0x7265736964 /* "resid" */, uint64(moduleID), xrand.HashString(workload))
+	return rng.LogNormal(0, sigma)
+}
+
+// lognormFromZ builds a lognormal(0, sigma) sample from a standard normal z,
+// mean-corrected so the population mean is 1 rather than exp(sigma²/2).
+func lognormFromZ(z, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma*z - sigma*sigma/2)
+}
+
+func sqrt1m(c float64) float64 {
+	v := 1 - c*c
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+func clampPositive(v float64) float64 {
+	if v < 0.05 {
+		return 0.05
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package variability
+
+import (
+	"math"
+	"testing"
+
+	"varpower/internal/stats"
+)
+
+var testProfile = Profile{
+	LeakSigma: 0.13, DynSigma: 0.032, DramSigma: 0.15,
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 7, testProfile)
+	b := Generate(42, 7, testProfile)
+	if a != b {
+		t.Fatalf("same (seed, module) produced %+v vs %+v", a, b)
+	}
+	c := Generate(42, 8, testProfile)
+	if a == c {
+		t.Fatal("distinct modules produced identical factors")
+	}
+	d := Generate(43, 7, testProfile)
+	if a == d {
+		t.Fatal("distinct seeds produced identical factors")
+	}
+}
+
+func TestPopulationMeansNearOne(t *testing.T) {
+	const n = 5000
+	var leak, dyn, dram []float64
+	for i := 0; i < n; i++ {
+		f := Generate(1, i, testProfile)
+		leak = append(leak, f.Leak)
+		dyn = append(dyn, f.Dyn)
+		dram = append(dram, f.Dram)
+	}
+	for name, xs := range map[string][]float64{"leak": leak, "dyn": dyn, "dram": dram} {
+		m := stats.Mean(xs)
+		if math.Abs(m-1) > 0.02 {
+			t.Errorf("%s population mean = %v, want ≈ 1", name, m)
+		}
+	}
+	// The DRAM factor must spread far wider than the dynamic factor — the
+	// paper's Vp ≈ 2.8 versus ≈ 1.3.
+	if stats.Variation(dram) < 2*stats.Variation(dyn) {
+		t.Errorf("DRAM spread (%.2f) not much wider than dyn spread (%.2f)",
+			stats.Variation(dram), stats.Variation(dyn))
+	}
+}
+
+func TestFactorsPositive(t *testing.T) {
+	wide := Profile{LeakSigma: 0.5, DynSigma: 0.4, DramSigma: 0.6, TurboSpread: 0.5, TurboLeakCorr: -1}
+	for i := 0; i < 2000; i++ {
+		f := Generate(2, i, wide)
+		if f.Leak <= 0 || f.Dyn <= 0 || f.Dram <= 0 || f.TurboMul <= 0 {
+			t.Fatalf("non-positive factor at module %d: %+v", i, f)
+		}
+	}
+}
+
+func TestBinnedTurbo(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if f := Generate(3, i, testProfile); f.TurboMul != 1 {
+			t.Fatalf("binned profile has turbo spread: %+v", f)
+		}
+	}
+}
+
+func TestTurboLeakCorrelation(t *testing.T) {
+	p := testProfile
+	p.TurboSpread = 0.12
+	p.TurboLeakCorr = 0.75
+	var leak, turbo []float64
+	for i := 0; i < 4000; i++ {
+		f := Generate(4, i, p)
+		leak = append(leak, f.Leak)
+		turbo = append(turbo, f.TurboMul)
+	}
+	c := stats.Correlation(leak, turbo)
+	if c < 0.5 {
+		t.Fatalf("turbo/leak correlation = %v, want strongly positive", c)
+	}
+	p.TurboLeakCorr = 0
+	leak, turbo = leak[:0], turbo[:0]
+	for i := 0; i < 4000; i++ {
+		f := Generate(5, i, p)
+		leak = append(leak, f.Leak)
+		turbo = append(turbo, f.TurboMul)
+	}
+	if c := stats.Correlation(leak, turbo); math.Abs(c) > 0.1 {
+		t.Fatalf("uncorrelated profile shows correlation %v", c)
+	}
+}
+
+func TestResidual(t *testing.T) {
+	if Residual(1, 2, "bench", 0) != 1 {
+		t.Fatal("zero-sigma residual must be exactly 1")
+	}
+	a := Residual(1, 2, "bench", 0.05)
+	if a == Residual(1, 2, "other", 0.05) {
+		t.Fatal("residual ignores workload")
+	}
+	if a != Residual(1, 2, "bench", 0.05) {
+		t.Fatal("residual not deterministic")
+	}
+	// Population statistics: lognormal with the requested sigma.
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, math.Log(Residual(1, i, "bench", 0.05)))
+	}
+	s := stats.MustSummarize(xs)
+	if math.Abs(s.Std-0.05) > 0.005 {
+		t.Fatalf("residual log-sigma = %v, want ≈ 0.05", s.Std)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := testProfile
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{LeakSigma: -0.1},
+		{DynSigma: -1},
+		{DramSigma: -0.5},
+		{TurboSpread: -0.2},
+		{TurboLeakCorr: 1.5},
+		{TurboLeakCorr: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
