@@ -202,6 +202,42 @@ func BenchmarkFigure9(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSpeedup runs the Figure-7 pipeline (PVT generation,
+// Table 4, the full scheme grid, the speedup summary) serially and with the
+// parallel engine at full width. Both sub-benchmarks produce byte-identical
+// artifacts — the parallel engine exists purely for wall-clock speed, so
+// comparing their ns/op is the speedup measurement. On a multi-core runner
+// workers-max should approach the core count for the grid-dominated phase;
+// on a single core the two are equivalent.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	smallScale := experiments.Options{
+		HA8KModules: 192, CabSockets: 300, VulcanBoards: 12, TellerSockets: 48,
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers-1", 1},
+		{"workers-max", 0}, // 0 selects GOMAXPROCS
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			o := smallScale
+			o.Workers = w.workers
+			for i := 0; i < b.N; i++ {
+				g, err := experiments.EvaluationGrid(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f7, err := experiments.Figure7(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(f7.Avg[core.VaFs], "vafs-avg-speedup")
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) -------------------------------------------------
 
 // ablationSpeedup measures the VaFs-over-Naive speedup for NPB-BT at the

@@ -7,6 +7,11 @@
 //
 //	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
 //	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
+//	          [-workers W]
+//
+// -workers bounds the per-module fan-out of PVT generation and oracle
+// measurement (0 = GOMAXPROCS, 1 = serial); allocations are byte-identical
+// for every width.
 //
 // With -sweep "48,64,96,...", it instead strong-scales the job across the
 // listed module counts under the same budget and reports which
@@ -37,16 +42,17 @@ func main() {
 		seed      = flag.Uint64("seed", 0x5c15, "system seed")
 		show      = flag.Int("show", 8, "how many per-module allocations to print")
 		sweep     = flag.String("sweep", "", "comma-separated module counts for an overprovisioning sweep (strong-scales the job; -modules becomes the reference count)")
+		workers   = flag.Int("workers", 0, "per-module fan-out width (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 	if *sweep != "" {
-		if err := runSweep(*benchName, *budgetStr, *modules, *sweep, *seed); err != nil {
+		if err := runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "powbudget:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*benchName, *budgetStr, *modules, *scheme, *seed, *show); err != nil {
+	if err := run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "powbudget:", err)
 		os.Exit(1)
 	}
@@ -54,7 +60,7 @@ func main() {
 
 // runSweep answers the overprovisioning question: under this budget, how
 // many modules should the job use?
-func runSweep(benchName, budgetStr string, refModules int, sweep string, seed uint64) error {
+func runSweep(benchName, budgetStr string, refModules int, sweep string, seed uint64, workers int) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -79,7 +85,7 @@ func runSweep(benchName, budgetStr string, refModules int, sweep string, seed ui
 	if err != nil {
 		return err
 	}
-	fw, err := core.NewFramework(sys, nil)
+	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -118,7 +124,7 @@ func parseScheme(s string) (core.Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q", s)
 }
 
-func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show int) error {
+func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show, workers int) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -139,7 +145,7 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 	if err != nil {
 		return err
 	}
-	fw, err := core.NewFramework(sys, nil)
+	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	pvtgen [-system ha8k|cab|teller|vulcan] [-modules N] [-seed S] [-o file]
+//	       [-workers W]
+//
+// -workers bounds the per-module measurement fan-out (0 = GOMAXPROCS,
+// 1 = serial); the generated table is byte-identical for every width.
 package main
 
 import (
@@ -24,15 +28,16 @@ func main() {
 		modules = flag.Int("modules", 0, "module count (0 = whole machine)")
 		seed    = flag.Uint64("seed", 0x5c15, "system seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		workers = flag.Int("workers", 0, "per-module measurement fan-out (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
-	if err := run(*system, *sysFile, *modules, *seed, *out); err != nil {
+	if err := run(*system, *sysFile, *modules, *seed, *out, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pvtgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, sysFile string, modules int, seed uint64, out string) error {
+func run(system, sysFile string, modules int, seed uint64, out string, workers int) error {
 	var spec cluster.Spec
 	if sysFile != "" {
 		f, err := os.Open(sysFile)
@@ -62,7 +67,7 @@ func run(system, sysFile string, modules int, seed uint64, out string) error {
 	if err != nil {
 		return err
 	}
-	pvt, err := core.GeneratePVT(sys, nil)
+	pvt, err := core.GeneratePVTWorkers(sys, nil, workers)
 	if err != nil {
 		return err
 	}

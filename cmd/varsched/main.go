@@ -47,15 +47,16 @@ func main() {
 		alloc    = flag.String("alloc", "first-fit", "module placement (first-fit, efficient)")
 		scheme   = flag.String("scheme", "vafs", "per-job budgeting scheme")
 		seed     = flag.Uint64("seed", 0x5c15, "system seed")
+		workers  = flag.Int("workers", 0, "fan-out width for PVT generation and concurrent jobs (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
-	if err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed); err != nil {
+	if err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "varsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64) error {
+func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64, workers int) error {
 	if jobsFile == "" {
 		return fmt.Errorf("-jobs is required")
 	}
@@ -120,11 +121,11 @@ func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeNa
 	if err != nil {
 		return err
 	}
-	scheduler, err := sched.NewOnSystem(sys)
+	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {
 		return err
 	}
-	res, err := scheduler.Run(jobs, cfg)
+	res, err := sched.New(fw).Run(jobs, cfg)
 	if err != nil {
 		return err
 	}

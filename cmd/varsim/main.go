@@ -4,10 +4,12 @@
 // Usage:
 //
 //	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9]
-//	       [-modules N] [-seed S]
+//	       [-modules N] [-seed S] [-workers W]
 //
 // -modules scales the HA8K experiments (default 1920, the paper's size);
 // feasibility boundaries are per-module and therefore scale-invariant.
+// -workers bounds the experiment engine's fan-out (0 = GOMAXPROCS,
+// 1 = serial); every width renders byte-identical artifacts.
 package main
 
 import (
@@ -27,10 +29,11 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
 		plot    = flag.Bool("plot", false, "also draw ASCII plots of figure shapes (fig1, fig2, fig5)")
+		workers = flag.Int("workers", 0, "fan-out width for per-module and per-cell loops (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules}
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers}
 	if *dump != "" {
 		if err := dumpAll(*dump, o); err != nil {
 			fmt.Fprintln(os.Stderr, "varsim:", err)

@@ -81,6 +81,7 @@ type System struct {
 	devices     []*msr.Device
 	controllers []*rapl.Controller
 	governors   []*cpufreq.Governor
+	control     rapl.ControlModel
 }
 
 // New instantiates count modules of the spec (count ≤ Spec.TotalModules;
@@ -103,6 +104,7 @@ func New(spec Spec, count int, seed uint64) (*System, error) {
 		devices:     make([]*msr.Device, count),
 		controllers: make([]*rapl.Controller, count),
 		governors:   make([]*cpufreq.Governor, count),
+		control:     rapl.DefaultControl,
 	}
 	for i := 0; i < count; i++ {
 		m := module.New(i, spec.Arch, seed)
@@ -141,9 +143,29 @@ func (s *System) Governor(id int) *cpufreq.Governor { return s.governors[id] }
 // SetControlModel replaces every controller's RAPL control-imperfection
 // model (used by ablation benchmarks).
 func (s *System) SetControlModel(c rapl.ControlModel) {
+	s.control = c
 	for i, m := range s.modules {
 		s.controllers[i] = rapl.NewController(m, s.devices[i], c, s.Seed)
 	}
+}
+
+// ControlModel returns the RAPL control-imperfection model in force.
+func (s *System) ControlModel() rapl.ControlModel { return s.control }
+
+// Clone instantiates an independent replica of the system: same spec, seed,
+// module count and control model, but fresh MSR devices, controllers and
+// governors. Because module factors, RAPL jitter and run noise all derive
+// from (seed, moduleID, ...) keyed streams — never from device state — a
+// replica measures byte-identically to the original, which is what lets the
+// experiment engine fan work out across replicas without perturbing results
+// (power limits and pinned frequencies are per-replica, so concurrent
+// workers cannot clobber each other's operating points).
+func (s *System) Clone() *System {
+	out := MustNew(s.Spec, len(s.modules), s.Seed)
+	if s.control != rapl.DefaultControl {
+		out.SetControlModel(s.control)
+	}
+	return out
 }
 
 // AllocateFirst returns the first n module IDs — the dedicated-system

@@ -1,0 +1,92 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/workload"
+)
+
+// FuzzLoadSystem feeds arbitrary bytes to the system loader: it must
+// either return a validated spec or an error — never panic. Every accepted
+// spec must survive a save/load round trip, and must be buildable into a
+// (tiny) cluster without panicking.
+func FuzzLoadSystem(f *testing.F) {
+	var seed bytes.Buffer
+	if err := SaveSystem(&seed, cluster.HA8K()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"name":"x","measurement":"rapl","nodes":-1}`)
+	f.Add(`{"name":"x","measurement":"bogus"}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(strings.Repeat("{", 64))
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := LoadSystem(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveSystem(&buf, spec); err != nil {
+			t.Fatalf("accepted spec does not save: %v", err)
+		}
+		again, err := LoadSystem(&buf)
+		if err != nil {
+			t.Fatalf("saved spec does not re-load: %v", err)
+		}
+		if again.Name != spec.Name || again.Measurement != spec.Measurement {
+			t.Fatalf("round trip changed identity: %q/%q -> %q/%q",
+				spec.Name, spec.Measurement, again.Name, again.Measurement)
+		}
+		// A validated spec must be constructible — the loader's contract
+		// with cluster.New. A validated spec always has at least one module.
+		if _, err := cluster.New(spec, 1, 1); err != nil {
+			t.Fatalf("accepted spec does not build: %v", err)
+		}
+	})
+}
+
+// FuzzLoadBenchmarks feeds arbitrary bytes to the benchmark loader: it
+// must never panic, and every accepted benchmark list must survive a
+// save/load round trip.
+func FuzzLoadBenchmarks(f *testing.F) {
+	var seed bytes.Buffer
+	if err := SaveBenchmarks(&seed, workload.Evaluated()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`[]`)
+	f.Add(`[{}]`)
+	f.Add(`[{"name":"x","cycles_per_iter":-1}]`)
+	f.Add(`{"name":"not-a-list"}`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(strings.Repeat("[", 64))
+	f.Fuzz(func(t *testing.T, input string) {
+		benches, err := LoadBenchmarks(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveBenchmarks(&buf, benches); err != nil {
+			t.Fatalf("accepted benchmarks do not save: %v", err)
+		}
+		again, err := LoadBenchmarks(&buf)
+		if err != nil {
+			t.Fatalf("saved benchmarks do not re-load: %v", err)
+		}
+		if len(again) != len(benches) {
+			t.Fatalf("round trip changed count: %d -> %d", len(benches), len(again))
+		}
+		for i := range benches {
+			if again[i].Name != benches[i].Name {
+				t.Fatalf("round trip changed benchmark %d: %q -> %q", i, benches[i].Name, again[i].Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/workload"
+)
+
+// workerWidths are the fan-out widths every parallelized generator must
+// agree across: fully serial, minimally concurrent, and machine-wide.
+func workerWidths() []int {
+	widths := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		widths = append(widths, p)
+	}
+	return widths
+}
+
+// TestGeneratePVTWorkerDeterminism: the PVT must be deep-equal — including
+// every float bit — no matter how many workers generate it.
+func TestGeneratePVTWorkerDeterminism(t *testing.T) {
+	ref, err := GeneratePVTWorkers(cluster.MustNew(cluster.HA8K(), 96, 0x5c15), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerWidths()[1:] {
+		got, err := GeneratePVTWorkers(cluster.MustNew(cluster.HA8K(), 96, 0x5c15), nil, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different PVT than serial", w)
+		}
+	}
+}
+
+// TestOraclePMTWorkerDeterminism: oracle measurement of every module must
+// not depend on the fan-out width.
+func TestOraclePMTWorkerDeterminism(t *testing.T) {
+	bench := workload.BT()
+	run := func(w int) *PMT {
+		t.Helper()
+		sys := cluster.MustNew(cluster.HA8K(), 96, 0x5c15)
+		ids, err := sys.AllocateFirst(96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmt, err := OraclePMTWorkers(sys, bench, ids, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return pmt
+	}
+	ref := run(1)
+	for _, w := range workerWidths()[1:] {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different PMT than serial", w)
+		}
+	}
+}
+
+// TestFrameworkRunWorkerDeterminism: the full pipeline — PVT, calibration,
+// α-solve, enforcement, final measured run — is byte-identical for every
+// worker count, for both a capping and a frequency-selection scheme.
+func TestFrameworkRunWorkerDeterminism(t *testing.T) {
+	for _, scheme := range []Scheme{VaPc, VaFs} {
+		run := func(w int) *SchemeRun {
+			t.Helper()
+			sys := cluster.MustNew(cluster.HA8K(), 96, 0x5c15)
+			ids, err := sys.AllocateFirst(96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fw, err := NewFrameworkWorkers(sys, nil, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := fw.Run(workload.MHD(), ids, 70*96, scheme)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			return r
+		}
+		ref := run(1)
+		for _, w := range workerWidths()[1:] {
+			if got := run(w); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%v: workers=%d produced a different run than serial", scheme, w)
+			}
+		}
+	}
+}
+
+// TestClonedFrameworkMeasuresIdentically: a framework clone must reproduce
+// the original's runs exactly — the property the grid engines rely on to
+// hand each cell its own replica.
+func TestClonedFrameworkMeasuresIdentically(t *testing.T) {
+	sys := cluster.MustNew(cluster.HA8K(), 64, 0x5c15)
+	ids, err := sys.AllocateFirst(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := NewFramework(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.Clone().Run(workload.BT(), ids, 70*64, VaFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fw.Clone().Run(workload.BT(), ids, 70*64, VaFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("two fresh clones measured differently")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/measure"
+	"varpower/internal/parallel"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -118,23 +119,51 @@ func Calibrate(pvt *PVT, test TestPair, bench *workload.Benchmark, moduleIDs []i
 // OraclePMT measures every allocated module directly — a complete execution
 // of the application on all modules, the perfect calibration behind the
 // paper's VaPcOr/VaFsOr baselines. Impractical in production (that is the
-// point of the PVT), but it bounds how much accuracy calibration loses.
+// point of the PVT), but it bounds how much accuracy calibration loses. The
+// per-module measurement fans out over GOMAXPROCS workers; use
+// OraclePMTWorkers for an explicit width.
 func OraclePMT(sys *cluster.System, bench *workload.Benchmark, moduleIDs []int) (*PMT, error) {
-	pmt := &PMT{Workload: bench.Name, Entries: make([]PMTEntry, len(moduleIDs))}
-	for i, id := range moduleIDs {
+	return OraclePMTWorkers(sys, bench, moduleIDs, 0)
+}
+
+// OraclePMTWorkers is OraclePMT with an explicit fan-out width (< 1 selects
+// GOMAXPROCS, 1 is fully serial). Results are byte-identical for every
+// worker count. Duplicate module IDs fall back to the serial loop — their
+// test runs reprogram the shared governor in order.
+func OraclePMTWorkers(sys *cluster.System, bench *workload.Benchmark, moduleIDs []int, workers int) (*PMT, error) {
+	if hasDuplicates(moduleIDs) {
+		workers = 1
+	}
+	entries, err := parallel.Map(workers, len(moduleIDs), func(i int) (PMTEntry, error) {
+		id := moduleIDs[i]
 		pair, err := RunTestPair(sys, bench, id)
 		if err != nil {
-			return nil, fmt.Errorf("core: oracle PMT module %d: %w", id, err)
+			return PMTEntry{}, fmt.Errorf("core: oracle PMT module %d: %w", id, err)
 		}
-		pmt.Entries[i] = PMTEntry{
+		return PMTEntry{
 			ModuleID: id,
 			CPUMax:   pair.AtMax.CPUPower,
 			DramMax:  pair.AtMax.DramPower,
 			CPUMin:   pair.AtMin.CPUPower,
 			DramMin:  pair.AtMin.DramPower,
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return pmt, nil
+	return &PMT{Workload: bench.Name, Entries: entries}, nil
+}
+
+// hasDuplicates reports whether the allocation lists any module twice.
+func hasDuplicates(ids []int) bool {
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return true
+		}
+		seen[id] = struct{}{}
+	}
+	return false
 }
 
 // Naive model constants (Section 6): the variation-unaware scheme takes

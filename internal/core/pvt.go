@@ -24,6 +24,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/measure"
+	"varpower/internal/parallel"
 	"varpower/internal/workload"
 )
 
@@ -68,29 +69,45 @@ func (p *PVT) Entry(moduleID int) (PVTEntry, error) {
 // GeneratePVT builds the table by test-running the microbenchmark on every
 // module of the system at fmax (nominal) and fmin, then normalising each
 // measurement by the population average. This is the install-time step; its
-// cost never recurs during budgeting.
+// cost never recurs during budgeting. The per-module test runs fan out over
+// GOMAXPROCS workers; use GeneratePVTWorkers for an explicit width.
 func GeneratePVT(sys *cluster.System, micro *workload.Benchmark) (*PVT, error) {
+	return GeneratePVTWorkers(sys, micro, 0)
+}
+
+// GeneratePVTWorkers is GeneratePVT with an explicit fan-out width
+// (< 1 selects GOMAXPROCS, 1 is fully serial). Each module's two test runs
+// touch only that module's governor, controller and MSR device, and every
+// random draw comes from a (seed, moduleID, ...)-keyed stream, so the table
+// is byte-identical for every worker count.
+func GeneratePVTWorkers(sys *cluster.System, micro *workload.Benchmark, workers int) (*PVT, error) {
 	if micro == nil {
 		micro = workload.PVTMicrobenchmark()
 	}
 	arch := sys.Spec.Arch
 	n := sys.NumModules()
 	type raw struct{ cpuMax, dramMax, cpuMin, dramMin float64 }
-	raws := make([]raw, n)
-	var sum raw
-	for id := 0; id < n; id++ {
+	raws, err := parallel.Map(workers, n, func(id int) (raw, error) {
 		hi, err := measure.TestRun(sys, micro, id, arch.FNom)
 		if err != nil {
-			return nil, fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)
+			return raw{}, fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)
 		}
 		lo, err := measure.TestRun(sys, micro, id, arch.FMin)
 		if err != nil {
-			return nil, fmt.Errorf("core: PVT fmin run on module %d: %w", id, err)
+			return raw{}, fmt.Errorf("core: PVT fmin run on module %d: %w", id, err)
 		}
-		raws[id] = raw{
+		return raw{
 			cpuMax: float64(hi.CPUPower), dramMax: float64(hi.DramPower),
 			cpuMin: float64(lo.CPUPower), dramMin: float64(lo.DramPower),
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Population averages are reduced in module order after the fan-out so
+	// the float sums are bit-identical for every worker count.
+	var sum raw
+	for id := 0; id < n; id++ {
 		sum.cpuMax += raws[id].cpuMax
 		sum.dramMax += raws[id].dramMax
 		sum.cpuMin += raws[id].cpuMin

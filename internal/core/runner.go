@@ -15,16 +15,29 @@ import (
 type Framework struct {
 	Sys *cluster.System
 	PVT *PVT
+
+	// Workers bounds the fan-out of the framework's per-module loops
+	// (oracle measurement, final-run resolution and accounting): < 1
+	// selects GOMAXPROCS, 1 recovers the fully serial pipeline. Results
+	// are byte-identical for every worker count.
+	Workers int
 }
 
 // NewFramework instantiates the framework, generating the system's PVT with
 // the given microbenchmark (nil selects the paper's choice, *STREAM).
 func NewFramework(sys *cluster.System, micro *workload.Benchmark) (*Framework, error) {
-	pvt, err := GeneratePVT(sys, micro)
+	return NewFrameworkWorkers(sys, micro, 0)
+}
+
+// NewFrameworkWorkers is NewFramework with an explicit fan-out width for
+// PVT generation and all subsequent per-module loops (< 1 selects
+// GOMAXPROCS, 1 recovers the fully serial pipeline).
+func NewFrameworkWorkers(sys *cluster.System, micro *workload.Benchmark, workers int) (*Framework, error) {
+	pvt, err := GeneratePVTWorkers(sys, micro, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{Sys: sys, PVT: pvt}, nil
+	return &Framework{Sys: sys, PVT: pvt, Workers: workers}, nil
 }
 
 // NewFrameworkWithPVT binds a previously generated (e.g. loaded) PVT.
@@ -36,6 +49,15 @@ func NewFrameworkWithPVT(sys *cluster.System, pvt *PVT) (*Framework, error) {
 		return nil, fmt.Errorf("core: PVT is for %q, system is %q", pvt.System, sys.Spec.Name)
 	}
 	return &Framework{Sys: sys, PVT: pvt}, nil
+}
+
+// Clone returns a framework over an independent replica of the system,
+// sharing the (read-only) PVT. Replicas measure byte-identically to the
+// original — see cluster.System.Clone — which lets sweep engines run many
+// (benchmark, budget, scheme) evaluations concurrently without the runs
+// clobbering each other's RAPL limits and pinned frequencies.
+func (fw *Framework) Clone() *Framework {
+	return &Framework{Sys: fw.Sys.Clone(), PVT: fw.PVT, Workers: fw.Workers}
 }
 
 // BuildPMT constructs the scheme's power model for the allocated modules:
@@ -61,7 +83,7 @@ func (fw *Framework) BuildPMT(bench *workload.Benchmark, moduleIDs []int, scheme
 		// The paper's Pc uses "the application-specific average values
 		// across all modules" — an all-module measurement averaged into a
 		// uniform table, not the single-module calibration.
-		pmt, err := OraclePMT(fw.Sys, bench, moduleIDs)
+		pmt, err := OraclePMTWorkers(fw.Sys, bench, moduleIDs, fw.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +91,7 @@ func (fw *Framework) BuildPMT(bench *workload.Benchmark, moduleIDs []int, scheme
 	case VaPc, VaFs:
 		return fw.calibrated(bench, moduleIDs)
 	case VaPcOr, VaFsOr:
-		return OraclePMT(fw.Sys, bench, moduleIDs)
+		return OraclePMTWorkers(fw.Sys, bench, moduleIDs, fw.Workers)
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
 	}
@@ -238,7 +260,7 @@ func (fw *Framework) Execute(bench *workload.Benchmark, moduleIDs []int, alloc *
 	if len(alloc.Entries) != len(moduleIDs) {
 		return measure.Result{}, fmt.Errorf("core: allocation covers %d modules, job has %d", len(alloc.Entries), len(moduleIDs))
 	}
-	cfg := measure.Config{Bench: bench, Modules: moduleIDs}
+	cfg := measure.Config{Bench: bench, Modules: moduleIDs, Workers: fw.Workers}
 	if scheme.UsesFS() {
 		f := fw.Sys.Spec.Arch.QuantizeDown(alloc.Freq)
 		cfg.Mode = measure.ModePinned

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// workerWidths are the fan-out widths the engine must agree across: fully
+// serial, minimally concurrent, and machine-wide.
+func workerWidths() []int {
+	widths := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		widths = append(widths, p)
+	}
+	return widths
+}
+
+// TestTable4WorkerDeterminism: the feasibility grid must be deep-equal for
+// every worker count.
+func TestTable4WorkerDeterminism(t *testing.T) {
+	run := func(w int) Table4Result {
+		t.Helper()
+		o := smallOpts()
+		o.Workers = w
+		t4, err := Table4(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return t4
+	}
+	ref := run(1)
+	for _, w := range workerWidths()[1:] {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different Table 4 than serial", w)
+		}
+	}
+}
+
+// TestEvaluationGridWorkerDeterminism: every grid cell — model tables,
+// α-solutions, measured energies and elapsed times — must be byte-identical
+// no matter how many workers evaluated the grid. This is the paper-artifact
+// guarantee: Figures 7, 8 and 9 render from these cells.
+func TestEvaluationGridWorkerDeterminism(t *testing.T) {
+	run := func(w int) *EvalGrid {
+		t.Helper()
+		o := smallOpts()
+		o.HA8KModules = 96 // keep the full grid affordable at three widths
+		o.Workers = w
+		g, err := EvaluationGrid(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return g
+	}
+	ref := run(1)
+	for _, w := range workerWidths()[1:] {
+		got := run(w)
+		if !reflect.DeepEqual(ref.T4, got.T4) {
+			t.Fatalf("workers=%d produced a different Table 4 than serial", w)
+		}
+		if len(ref.Cells) != len(got.Cells) {
+			t.Fatalf("workers=%d produced %d cells, serial %d", w, len(got.Cells), len(ref.Cells))
+		}
+		for i := range ref.Cells {
+			if !reflect.DeepEqual(ref.Cells[i], got.Cells[i]) {
+				t.Fatalf("workers=%d: cell %d (%s %v %v) differs from serial",
+					w, i, ref.Cells[i].Bench, ref.Cells[i].Cs, ref.Cells[i].Scheme)
+			}
+		}
+	}
+}

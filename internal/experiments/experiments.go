@@ -39,6 +39,13 @@ type Options struct {
 	CabSockets    int
 	VulcanBoards  int
 	TellerSockets int
+
+	// Workers bounds every generator's fan-out — per-module measurement,
+	// PVT construction, and the evaluation grid's (benchmark, constraint,
+	// scheme) cells: < 1 selects GOMAXPROCS, 1 recovers the serial engine.
+	// Per-module RNG streams make the rendered artifacts byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // withDefaults fills unset fields with the paper's scales.

@@ -8,6 +8,7 @@ import (
 	"varpower/internal/cluster"
 	"varpower/internal/hw/sensors"
 	"varpower/internal/measure"
+	"varpower/internal/parallel"
 	"varpower/internal/report"
 	"varpower/internal/stats"
 	"varpower/internal/units"
@@ -47,33 +48,28 @@ type Fig1Series struct {
 // run noise, so the observed spread is manufacturing variability alone.
 func Figure1(o Options) ([]Fig1Series, error) {
 	o = o.withDefaults()
-	var out []Fig1Series
-
-	cab, err := socketSeries(cluster.Cab(), o.CabSockets, o.Seed, false)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 1 Cab: %w", err)
+	// The three panels are entirely independent machines; they build
+	// concurrently, and each panel's per-rank measurement fans out too.
+	panels := []func() (Fig1Series, error){
+		func() (Fig1Series, error) { return socketSeries(cluster.Cab(), o.CabSockets, o.Seed, false, o.Workers) },
+		func() (Fig1Series, error) { return boardSeries(cluster.Vulcan(), o.VulcanBoards, o.Seed, o.Workers) },
+		func() (Fig1Series, error) { return socketSeries(cluster.Teller(), o.TellerSockets, o.Seed, true, o.Workers) },
 	}
-	out = append(out, cab)
-
-	vulcan, err := boardSeries(cluster.Vulcan(), o.VulcanBoards, o.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 1 Vulcan: %w", err)
-	}
-	out = append(out, vulcan)
-
-	teller, err := socketSeries(cluster.Teller(), o.TellerSockets, o.Seed, true)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 1 Teller: %w", err)
-	}
-	out = append(out, teller)
-	return out, nil
+	names := []string{"Cab", "Vulcan", "Teller"}
+	return parallel.Map(o.Workers, len(panels), func(i int) (Fig1Series, error) {
+		s, err := panels[i]()
+		if err != nil {
+			return Fig1Series{}, fmt.Errorf("experiments: figure 1 %s: %w", names[i], err)
+		}
+		return s, nil
+	})
 }
 
 // epRun executes the single-socket EP study: every module runs EP
 // uncapped and independently (the final tiny reduction is the only
 // communication, so per-rank busy time is the single-socket execution
 // time).
-func epRun(spec cluster.Spec, n int, seed uint64) (*cluster.System, measure.Result, error) {
+func epRun(spec cluster.Spec, n int, seed uint64, workers int) (*cluster.System, measure.Result, error) {
 	sys, err := cluster.New(spec, n, seed)
 	if err != nil {
 		return nil, measure.Result{}, err
@@ -86,6 +82,7 @@ func epRun(spec cluster.Spec, n int, seed uint64) (*cluster.System, measure.Resu
 		Bench:   workload.EP(),
 		Modules: ids,
 		Mode:    measure.ModeUncapped,
+		Workers: workers,
 	})
 	if err != nil {
 		return nil, measure.Result{}, err
@@ -96,8 +93,8 @@ func epRun(spec cluster.Spec, n int, seed uint64) (*cluster.System, measure.Resu
 // socketSeries builds a per-socket panel. Power is read through the
 // system's measurement technique: RAPL counters on Cab, a PowerInsight
 // sensor (with its ADC noise and calibration offset) on Teller.
-func socketSeries(spec cluster.Spec, n int, seed uint64, usePI bool) (Fig1Series, error) {
-	sys, res, err := epRun(spec, n, seed)
+func socketSeries(spec cluster.Spec, n int, seed uint64, usePI bool, workers int) (Fig1Series, error) {
+	sys, res, err := epRun(spec, n, seed, workers)
 	if err != nil {
 		return Fig1Series{}, err
 	}
@@ -123,9 +120,9 @@ func socketSeries(spec cluster.Spec, n int, seed uint64, usePI bool) (Fig1Series
 // boardSeries builds the Vulcan panel: power is the EMON-measured sum of
 // each 32-node board (including the board's power-delivery factor), and a
 // board's execution time is its slowest node.
-func boardSeries(spec cluster.Spec, boards int, seed uint64) (Fig1Series, error) {
+func boardSeries(spec cluster.Spec, boards int, seed uint64, workers int) (Fig1Series, error) {
 	per := spec.ModulesPerBoard
-	sys, res, err := epRun(spec, boards*per, seed)
+	sys, res, err := epRun(spec, boards*per, seed, workers)
 	if err != nil {
 		return Fig1Series{}, err
 	}

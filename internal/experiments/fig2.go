@@ -60,7 +60,7 @@ func Figure2i(o Options) ([]Fig2iResult, error) {
 	}
 	var out []Fig2iResult
 	for _, b := range []*workload.Benchmark{workload.DGEMM(), workload.MHD()} {
-		res, err := measure.Run(sys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped})
+		res, err := measure.Run(sys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 2(i) %s: %w", b.Name, err)
 		}
@@ -148,7 +148,7 @@ func Figure2Sweep(o Options) ([]Fig2SweepResult, error) {
 	}
 	var out []Fig2SweepResult
 	for _, c := range cases {
-		sweep, err := capSweep(sys, ids, c.bench, c.caps)
+		sweep, err := capSweep(sys, ids, c.bench, c.caps, o.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 2 sweep %s: %w", c.bench.Name, err)
 		}
@@ -158,16 +158,16 @@ func Figure2Sweep(o Options) ([]Fig2SweepResult, error) {
 }
 
 // capSweep runs one benchmark at each uniform Cm level and summarises.
-func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []units.Watts) (Fig2SweepResult, error) {
+func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []units.Watts, workers int) (Fig2SweepResult, error) {
 	// Offline analysis: the application's average power model, used to
 	// split Cm between CPU cap and predicted DRAM.
-	pmt, err := core.OraclePMT(sys, bench, ids)
+	pmt, err := core.OraclePMTWorkers(sys, bench, ids, workers)
 	if err != nil {
 		return Fig2SweepResult{}, err
 	}
 	avg := pmt.Averages()
 
-	base, err := measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped})
+	base, err := measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: workers})
 	if err != nil {
 		return Fig2SweepResult{}, err
 	}
@@ -184,7 +184,7 @@ func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []u
 			for i := range caps {
 				caps[i] = ccpu
 			}
-			res, err = measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeCapped, CPUCaps: caps})
+			res, err = measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeCapped, CPUCaps: caps, Workers: workers})
 			if err != nil {
 				return Fig2SweepResult{}, fmt.Errorf("Cm=%v: %w", cm, err)
 			}

@@ -62,7 +62,7 @@ func Figure3(o Options) (Fig3Result, error) {
 		return Fig3Result{}, err
 	}
 	bench := workload.MHD()
-	pmt, err := core.OraclePMT(sys, bench, ids)
+	pmt, err := core.OraclePMTWorkers(sys, bench, ids, o.Workers)
 	if err != nil {
 		return Fig3Result{}, err
 	}
@@ -70,7 +70,7 @@ func Figure3(o Options) (Fig3Result, error) {
 
 	out := Fig3Result{Modules: n}
 	for _, cm := range fig3Caps {
-		cfg := measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped}
+		cfg := measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers}
 		var ccpu units.Watts
 		if cm != 0 {
 			ccpu = UniformCap(avg, cm)

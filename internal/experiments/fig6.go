@@ -41,7 +41,7 @@ func Figure6(o Options) (Fig6Result, error) {
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	pvt, err := core.GeneratePVT(sys, nil)
+	pvt, err := core.GeneratePVTWorkers(sys, nil, o.Workers)
 	if err != nil {
 		return Fig6Result{}, err
 	}
@@ -55,7 +55,7 @@ func Figure6(o Options) (Fig6Result, error) {
 		if err != nil {
 			return Fig6Result{}, err
 		}
-		oracle, err := core.OraclePMT(sys, b, ids)
+		oracle, err := core.OraclePMTWorkers(sys, b, ids, o.Workers)
 		if err != nil {
 			return Fig6Result{}, err
 		}

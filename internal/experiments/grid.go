@@ -5,6 +5,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/core"
+	"varpower/internal/parallel"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -39,13 +40,19 @@ type EvalGrid struct {
 // EvaluationGrid runs the complete evaluation: it builds the framework
 // (generating the PVT), derives the feasible scenario set from Table 4, and
 // executes all six schemes on every X-marked (benchmark, Cs) pair.
+//
+// The cells fan out over Options.Workers goroutines, each on its own
+// framework clone (the PVT is shared read-only; the system replica keeps
+// RAPL limits and pinned frequencies private to the cell). Every worker
+// count — including the serial 1 — evaluates the same cloned-cell
+// sequence, so the grid is byte-identical regardless of parallelism.
 func EvaluationGrid(o Options) (*EvalGrid, error) {
 	o = o.withDefaults()
 	sys, ids, err := o.haSystem()
 	if err != nil {
 		return nil, err
 	}
-	fw, err := core.NewFramework(sys, nil)
+	fw, err := core.NewFrameworkWorkers(sys, nil, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -57,15 +64,26 @@ func EvaluationGrid(o Options) (*EvalGrid, error) {
 		Opts: o, Sys: sys, Modules: ids, FW: fw, T4: t4,
 		Uncapped: make(map[string]units.Seconds),
 	}
+	type cellSpec struct {
+		bench  *workload.Benchmark
+		cs     units.Watts
+		scheme core.Scheme
+	}
+	var specs []cellSpec
 	for _, bench := range workload.Evaluated() {
 		for _, cs := range t4.EvaluatedConstraints(bench.Name) {
-			budget := CsForScale(cs, len(ids))
 			for _, scheme := range core.AllSchemes() {
-				run, err := fw.Run(bench, ids, budget, scheme)
-				cell := GridCell{Bench: bench.Name, Cs: cs, Scheme: scheme, Run: run, Err: err}
-				g.Cells = append(g.Cells, cell)
+				specs = append(specs, cellSpec{bench: bench, cs: cs, scheme: scheme})
 			}
 		}
+	}
+	g.Cells, err = parallel.Map(o.Workers, len(specs), func(i int) (GridCell, error) {
+		s := specs[i]
+		run, err := fw.Clone().Run(s.bench, ids, CsForScale(s.cs, len(ids)), s.scheme)
+		return GridCell{Bench: s.bench.Name, Cs: s.cs, Scheme: s.scheme, Run: run, Err: err}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"varpower/internal/measure"
+	"varpower/internal/parallel"
 	"varpower/internal/report"
 	"varpower/internal/stats"
 	"varpower/internal/units"
@@ -65,14 +66,21 @@ func Table4(o Options) (Table4Result, error) {
 	for i := range fmins {
 		fmins[i] = sys.Spec.Arch.FMin
 	}
-	for _, b := range workload.Evaluated() {
-		unc, err := measure.Run(sys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped})
+	// Each benchmark's uncapped and fmin sweeps run on a private system
+	// replica so the rows can be measured concurrently; the per-row marks
+	// derive only from deterministic operating points, so the table is
+	// byte-identical for every worker count.
+	benches := workload.Evaluated()
+	out.Rows, err = parallel.Map(o.Workers, len(benches), func(i int) (Table4Row, error) {
+		b := benches[i]
+		rsys := sys.Clone()
+		unc, err := measure.Run(rsys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers})
 		if err != nil {
-			return Table4Result{}, fmt.Errorf("experiments: table 4 %s: %w", b.Name, err)
+			return Table4Row{}, fmt.Errorf("experiments: table 4 %s: %w", b.Name, err)
 		}
-		min, err := measure.Run(sys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModePinned, Freqs: fmins})
+		min, err := measure.Run(rsys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModePinned, Freqs: fmins, Workers: o.Workers})
 		if err != nil {
-			return Table4Result{}, fmt.Errorf("experiments: table 4 %s at fmin: %w", b.Name, err)
+			return Table4Row{}, fmt.Errorf("experiments: table 4 %s at fmin: %w", b.Name, err)
 		}
 		row := Table4Row{
 			Bench:           b.Name,
@@ -89,7 +97,10 @@ func Table4(o Options) (Table4Result, error) {
 				row.Marks = append(row.Marks, MarkRun)
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return Table4Result{}, err
 	}
 	return out, nil
 }

@@ -1,0 +1,100 @@
+package msr
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestDeviceConcurrentStress hammers one device from four directions at
+// once — energy accumulation, counter reads, limit writes and limit
+// readbacks — the exact overlap a parallel measurement engine produces when
+// an accounting goroutine polls counters while a controller goroutine
+// reprograms limits. Run under -race this is the package's data-race
+// sentinel; the accounting checks below make it a correctness test too.
+func TestDeviceConcurrentStress(t *testing.T) {
+	d := NewDevice(130)
+	const (
+		writers    = 4
+		iterations = 2000
+		pkgStep    = 0.01  // J per accumulation
+		dramStep   = 0.004 // J per accumulation
+	)
+	var wg sync.WaitGroup
+	// Energy accumulators: total added is known exactly.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				d.AccumulateEnergy(pkgStep, dramStep)
+			}
+		}()
+	}
+	// Counter poller: every delta between successive reads must be
+	// non-negative and bounded by the total energy in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total := float64(writers) * iterations * pkgStep
+		prev, err := d.Read(PkgEnergyStatus)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < iterations; i++ {
+			cur, err := d.Read(PkgEnergyStatus)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if delta := EnergyDeltaJoules(prev, cur); delta > total {
+				t.Errorf("counter delta %v J exceeds total accumulated %v J", delta, total)
+				return
+			}
+			prev = cur
+		}
+	}()
+	// Limit writer/reader: whitelist enforcement and register storage under
+	// contention.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			want := PowerLimit{Watts: 50 + float64(i%60), Seconds: 0.001, Enabled: true}
+			if err := d.Write(PkgPowerLimit, EncodePowerLimit(want)); err != nil {
+				t.Error(err)
+				return
+			}
+			raw, err := d.Read(PkgPowerLimit)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := DecodePowerLimit(raw); !got.Enabled || got.Watts < 50 || got.Watts >= 110 {
+				t.Errorf("limit readback %+v outside writer's range", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Conservation: everything the writers added must be visible on the
+	// counters, minus at most one uncommitted sub-unit fraction.
+	raw, err := d.Read(PkgEnergyStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPkg := float64(writers) * iterations * pkgStep
+	if got := EnergyCounterToJoules(raw); math.Abs(got-wantPkg) > 1.0/(1<<energyUnitExp)+1e-9 {
+		t.Fatalf("pkg counter %v J, want %v J", got, wantPkg)
+	}
+	raw, err = d.Read(DramEnergyStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDram := float64(writers) * iterations * dramStep
+	if got := EnergyCounterToJoules(raw); math.Abs(got-wantDram) > 1.0/(1<<energyUnitExp)+1e-9 {
+		t.Fatalf("dram counter %v J, want %v J", got, wantDram)
+	}
+}

@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// TestRunWorkerDeterminism: a measured run — operating points, energies,
+// elapsed and sync times for every rank — must be deep-equal whether the
+// ranks resolve and account serially or across all cores, in every
+// enforcement mode.
+func TestRunWorkerDeterminism(t *testing.T) {
+	widths := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		widths = append(widths, p)
+	}
+	const n = 96
+	caps := make([]units.Watts, n)
+	freqs := make([]units.Hertz, n)
+	for _, mode := range []struct {
+		name string
+		cfg  func(cfg *Config)
+	}{
+		{"uncapped", func(cfg *Config) { cfg.Mode = ModeUncapped }},
+		{"capped", func(cfg *Config) {
+			cfg.Mode = ModeCapped
+			cfg.CPUCaps = caps
+		}},
+		{"pinned", func(cfg *Config) {
+			cfg.Mode = ModePinned
+			cfg.Freqs = freqs
+		}},
+	} {
+		run := func(w int) Result {
+			t.Helper()
+			sys, ids := testSystem(t, n)
+			for i := range caps {
+				caps[i] = 65
+			}
+			for i := range freqs {
+				freqs[i] = sys.Spec.Arch.FMin
+			}
+			cfg := Config{Bench: workload.MHD(), Modules: ids, Workers: w}
+			mode.cfg(&cfg)
+			res, err := Run(sys, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mode.name, w, err)
+			}
+			return res
+		}
+		ref := run(1)
+		for _, w := range widths[1:] {
+			if got := run(w); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s: workers=%d produced a different result than serial", mode.name, w)
+			}
+		}
+	}
+}

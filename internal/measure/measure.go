@@ -17,6 +17,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/hw/module"
+	"varpower/internal/parallel"
 	"varpower/internal/simmpi"
 	"varpower/internal/units"
 	"varpower/internal/workload"
@@ -69,6 +70,14 @@ type Config struct {
 	// RunNoiseSigma overrides DefaultRunNoiseSigma when >= 0 is set via
 	// ExplicitNoise; leave nil for the default.
 	RunNoiseSigma *float64
+
+	// Workers bounds the fan-out of the per-rank resolution and energy
+	// accounting loops: < 1 selects GOMAXPROCS, 1 recovers the serial loop.
+	// Results are byte-identical for every worker count (every module's
+	// draws come from its own keyed RNG stream); parallelism is silently
+	// disabled when Modules carries duplicate IDs, whose RAPL/governor
+	// programming is order-dependent.
+	Workers int
 }
 
 // ExplicitNoise returns a pointer for Config.RunNoiseSigma (0 disables
@@ -121,14 +130,14 @@ func Run(sys *cluster.System, cfg Config) (Result, error) {
 	n := len(cfg.Modules)
 	prof := cfg.Bench.ProfileFor(sys.Spec.Arch)
 
-	// Resolve each rank's steady-state operating point.
-	ops := make([]module.OperatingPoint, n)
-	for rank, id := range cfg.Modules {
-		op, err := resolve(sys, cfg, prof, rank, id)
-		if err != nil {
-			return Result{}, err
-		}
-		ops[rank] = op
+	// Resolve each rank's steady-state operating point. Each rank programs
+	// and reads only its own module's RAPL controller and governor, so the
+	// fan-out is safe whenever the module IDs are distinct.
+	ops, err := parallel.Map(rankWorkers(cfg), n, func(rank int) (module.OperatingPoint, error) {
+		return resolve(sys, cfg, prof, rank, cfg.Modules[rank])
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	res, err := simulate(sys, cfg, ops)
@@ -255,9 +264,7 @@ func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint) (sim
 // reads the counters back into the result.
 func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []module.OperatingPoint, sim simmpi.Result) (Result, error) {
 	n := len(cfg.Modules)
-	out := Result{Ranks: make([]RankResult, n), Elapsed: sim.Elapsed}
-	var totalJ float64
-	for rank := 0; rank < n; rank++ {
+	ranks, err := parallel.Map(rankWorkers(cfg), n, func(rank int) (RankResult, error) {
 		id := cfg.Modules[rank]
 		ctl := sys.RAPL(id)
 		st := sim.Ranks[rank]
@@ -277,30 +284,55 @@ func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []mo
 		for c := 0; c < chunks; c++ {
 			snap, err := ctl.Snapshot()
 			if err != nil {
-				return Result{}, err
+				return RankResult{}, err
 			}
 			ctl.AccountEnergy(prof, ops[rank],
 				st.Busy/units.Seconds(chunks), wait/units.Seconds(chunks))
 			dp, dd, err := ctl.Since(snap)
 			if err != nil {
-				return Result{}, err
+				return RankResult{}, err
 			}
 			pkgJ += dp
 			dramJ += dd
 		}
-		r := RankResult{
+		return RankResult{
 			Rank: rank, ModuleID: id, Op: ops[rank],
 			Busy: st.Busy, Wait: st.Wait, Sendrecv: st.Sendrecv, End: st.End,
 			PkgEnergy: pkgJ, DramEnergy: dramJ,
 			AvgCPUPower:  units.AvgPower(pkgJ, sim.Elapsed),
 			AvgDramPower: units.AvgPower(dramJ, sim.Elapsed),
-		}
-		out.Ranks[rank] = r
-		totalJ += float64(pkgJ) + float64(dramJ)
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Ranks: ranks, Elapsed: sim.Elapsed}
+	// Reduce in rank order so float accumulation is bit-identical for every
+	// worker count.
+	var totalJ float64
+	for _, r := range ranks {
+		totalJ += float64(r.PkgEnergy) + float64(r.DramEnergy)
 	}
 	out.TotalEnergy = units.Joules(totalJ)
 	out.AvgTotalPower = units.AvgPower(out.TotalEnergy, out.Elapsed)
 	return out, nil
+}
+
+// rankWorkers resolves the per-rank fan-out width. A module listed twice
+// would see order-dependent limit programming and interleaved energy
+// accounting, so duplicates force the serial path.
+func rankWorkers(cfg Config) int {
+	if cfg.Workers == 1 {
+		return 1
+	}
+	seen := make(map[int]struct{}, len(cfg.Modules))
+	for _, id := range cfg.Modules {
+		if _, dup := seen[id]; dup {
+			return 1
+		}
+		seen[id] = struct{}{}
+	}
+	return cfg.Workers
 }
 
 // TestRunResult is what a single-module test run measures: average CPU and

@@ -1,0 +1,42 @@
+package overprov
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// TestAnalyzeWorkerDeterminism: the sweep curve and its optimum must be
+// deep-equal whether the points run serially or across all cores.
+func TestAnalyzeWorkerDeterminism(t *testing.T) {
+	widths := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		widths = append(widths, p)
+	}
+	counts := []int{48, 64, 96, 128}
+	budget := units.Watts(96 * 85)
+	run := func(w int) *Result {
+		t.Helper()
+		sys := cluster.MustNew(cluster.HA8K(), 128, 0x5c15)
+		fw, err := core.NewFrameworkWorkers(sys, nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(fw, workload.MHD(), budget, 96, counts, core.VaFs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range widths[1:] {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different sweep than serial", w)
+		}
+	}
+}

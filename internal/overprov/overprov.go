@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"varpower/internal/core"
+	"varpower/internal/parallel"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -91,31 +92,46 @@ func Analyze(fw *core.Framework, bench *workload.Benchmark, budget units.Watts,
 	if refRanks < 1 {
 		return nil, fmt.Errorf("overprov: reference rank count %d", refRanks)
 	}
-	res := &Result{Bench: bench.Name, Budget: budget, Best: -1}
 	for _, n := range counts {
 		if n < 1 || n > fw.Sys.NumModules() {
 			return nil, fmt.Errorf("overprov: %d modules outside [1, %d]", n, fw.Sys.NumModules())
 		}
+	}
+	res := &Result{Bench: bench.Name, Budget: budget, Best: -1}
+	// Every configuration reuses modules [0, n), so concurrent points would
+	// fight over the same RAPL limits and pinned frequencies on a shared
+	// system — each sweep point therefore runs on its own framework clone.
+	// The clones measure byte-identically to the original, and the serial
+	// path takes the same clone-per-point route, so the curve is identical
+	// for every worker count (fw.Workers; < 1 selects GOMAXPROCS).
+	var err error
+	res.Points, err = parallel.Map(fw.Workers, len(counts), func(i int) (Point, error) {
+		n := counts[i]
 		ids := make([]int, n)
-		for i := range ids {
-			ids[i] = i
+		for k := range ids {
+			ids[k] = k
 		}
 		scaled := StrongScaled(bench, refRanks, n)
 		pt := Point{Modules: n, CmAvg: budget / units.Watts(float64(n))}
-		run, err := fw.Run(scaled, ids, budget, scheme)
+		run, err := fw.Clone().Run(scaled, ids, budget, scheme)
 		if err == nil {
 			pt.Feasible = true
 			pt.Constrained = run.Alloc.Constrained
 			pt.Alpha = run.Alloc.Alpha
 			pt.Freq = run.Alloc.Freq
 			pt.Elapsed = run.Result.Elapsed
-			if res.Best < 0 || pt.Elapsed < res.Points[res.Best].Elapsed {
-				res.Best = len(res.Points)
-			}
 		} else if _, ok := err.(core.ErrBudgetInfeasible); !ok {
-			return nil, fmt.Errorf("overprov: %d modules: %w", n, err)
+			return Point{}, fmt.Errorf("overprov: %d modules: %w", n, err)
 		}
-		res.Points = append(res.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range res.Points {
+		if pt.Feasible && (res.Best < 0 || pt.Elapsed < res.Points[res.Best].Elapsed) {
+			res.Best = i
+		}
 	}
 	if res.Best < 0 {
 		return nil, fmt.Errorf("overprov: no feasible configuration under %v", budget)

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/units"
+)
+
+// TestRunWorkerDeterminism: a batch's results — budgets, allocations,
+// measured runs, makespan and total power — must be deep-equal whether the
+// jobs run one at a time or concurrently on their disjoint partitions.
+func TestRunWorkerDeterminism(t *testing.T) {
+	widths := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		widths = append(widths, p)
+	}
+	cfg := Config{
+		SystemPower: units.Watts(192 * 70),
+		Policy:      SplitGlobalAlpha,
+		Alloc:       AllocEfficient,
+		Scheme:      core.VaFs,
+	}
+	run := func(w int) *Result {
+		t.Helper()
+		sys := cluster.MustNew(cluster.HA8K(), 192, 0x5c15)
+		fw, err := core.NewFrameworkWorkers(sys, nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := New(fw).Run(testBatch(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range widths[1:] {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different round than serial", w)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/core"
+	"varpower/internal/parallel"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -242,18 +243,27 @@ func (s *Scheduler) Run(jobs []Job, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Jobs hold disjoint module sets, so they can run concurrently on the
+	// shared framework: each job's test runs, RAPL programming and final
+	// run touch only its own modules' devices. The fan-out width is the
+	// framework's (< 1 selects GOMAXPROCS, 1 runs the batch serially);
+	// results land in submission order either way.
 	res := &Result{Config: cfg}
-	for i, job := range jobs {
-		run, err := s.fw.Run(job.Bench, allocs[i], budgets[i], cfg.Scheme)
+	res.Jobs, err = parallel.Map(s.fw.Workers, len(jobs), func(i int) (JobResult, error) {
+		run, err := s.fw.Run(jobs[i].Bench, allocs[i], budgets[i], cfg.Scheme)
 		if err != nil {
-			return nil, fmt.Errorf("sched: job %q: %w", job.Name, err)
+			return JobResult{}, fmt.Errorf("sched: job %q: %w", jobs[i].Name, err)
 		}
-		jr := JobResult{Job: job, Modules: allocs[i], Budget: budgets[i], Run: run}
-		res.Jobs = append(res.Jobs, jr)
-		if run.Result.Elapsed > res.Makespan {
-			res.Makespan = run.Result.Elapsed
+		return JobResult{Job: jobs[i], Modules: allocs[i], Budget: budgets[i], Run: run}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, jr := range res.Jobs {
+		if jr.Run.Result.Elapsed > res.Makespan {
+			res.Makespan = jr.Run.Result.Elapsed
 		}
-		res.TotalPower += run.Result.AvgTotalPower
+		res.TotalPower += jr.Run.Result.AvgTotalPower
 	}
 	return res, nil
 }
