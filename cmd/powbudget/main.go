@@ -7,7 +7,8 @@
 //
 //	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
 //	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
-//	          [-workers W]
+//	          [-workers W] [-metrics FILE] [-telemetry] [-http ADDR]
+//	          [-quiet] [-v]
 //
 // -workers bounds the per-module fan-out of PVT generation and oracle
 // measurement (0 = GOMAXPROCS, 1 = serial); allocations are byte-identical
@@ -25,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"varpower/internal/cliutil"
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/overprov"
@@ -43,18 +45,27 @@ func main() {
 		show      = flag.Int("show", 8, "how many per-module allocations to print")
 		sweep     = flag.String("sweep", "", "comma-separated module counts for an overprovisioning sweep (strong-scales the job; -modules becomes the reference count)")
 		workers   = flag.Int("workers", 0, "per-module fan-out width (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		obs       = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if *sweep != "" {
-		if err := runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "powbudget:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "powbudget:", err)
 		os.Exit(1)
+	}
+	if err := obs.Start("powbudget"); err != nil {
+		fail(err)
+	}
+	var err error
+	if *sweep != "" {
+		err = runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers)
+	} else {
+		err = run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers)
+	}
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -4,21 +4,27 @@
 // Usage:
 //
 //	pvtgen [-system ha8k|cab|teller|vulcan] [-modules N] [-seed S] [-o file]
-//	       [-workers W]
+//	       [-workers W] [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
 // -workers bounds the per-module measurement fan-out (0 = GOMAXPROCS,
 // 1 = serial); the generated table is byte-identical for every width.
+// The observability flags are shared across commands (internal/cliutil);
+// -v streams per-module progress of the install-time sweep, the longest
+// single phase in the repository at full machine scale.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"varpower/internal/cliutil"
 	"varpower/internal/cluster"
 	"varpower/internal/config"
 	"varpower/internal/core"
+	"varpower/internal/parallel"
 )
 
 func main() {
@@ -29,15 +35,26 @@ func main() {
 		seed    = flag.Uint64("seed", 0x5c15, "system seed")
 		out     = flag.String("o", "", "output file (default stdout)")
 		workers = flag.Int("workers", 0, "per-module measurement fan-out (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		obs     = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*system, *sysFile, *modules, *seed, *out, *workers); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "pvtgen:", err)
 		os.Exit(1)
 	}
+	if err := obs.Start("pvtgen"); err != nil {
+		fail(err)
+	}
+	err := run(*system, *sysFile, *modules, *seed, *out, *workers, obs)
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
+	}
 }
 
-func run(system, sysFile string, modules int, seed uint64, out string, workers int) error {
+func run(system, sysFile string, modules int, seed uint64, out string, workers int, obs *cliutil.Obs) error {
 	var spec cluster.Spec
 	if sysFile != "" {
 		f, err := os.Open(sysFile)
@@ -67,7 +84,11 @@ func run(system, sysFile string, modules int, seed uint64, out string, workers i
 	if err != nil {
 		return err
 	}
-	pvt, err := core.GeneratePVTWorkers(sys, nil, workers)
+	ctx := context.Background()
+	if fn := obs.ProgressFunc("pvt"); fn != nil {
+		ctx = parallel.WithProgress(ctx, fn)
+	}
+	pvt, err := core.GeneratePVTCtx(ctx, sys, nil, workers)
 	if err != nil {
 		return err
 	}

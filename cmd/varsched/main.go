@@ -7,6 +7,7 @@
 //	varsched -jobs batch.json [-modules N] [-power 12.5kW]
 //	         [-policy equal|global-alpha] [-alloc first-fit|efficient]
 //	         [-scheme vafs|vapc|naive|...] [-seed S]
+//	         [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
 // Batch file format:
 //
@@ -23,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"varpower/internal/cliutil"
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/report"
@@ -48,11 +50,22 @@ func main() {
 		scheme   = flag.String("scheme", "vafs", "per-job budgeting scheme")
 		seed     = flag.Uint64("seed", 0x5c15, "system seed")
 		workers  = flag.Int("workers", 0, "fan-out width for PVT generation and concurrent jobs (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		obs      = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "varsched:", err)
 		os.Exit(1)
+	}
+	if err := obs.Start("varsched"); err != nil {
+		fail(err)
+	}
+	err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers)
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

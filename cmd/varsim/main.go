@@ -5,11 +5,20 @@
 //
 //	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9]
 //	       [-modules N] [-seed S] [-workers W]
+//	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
 // -modules scales the HA8K experiments (default 1920, the paper's size);
 // feasibility boundaries are per-module and therefore scale-invariant.
 // -workers bounds the experiment engine's fan-out (0 = GOMAXPROCS,
 // 1 = serial); every width renders byte-identical artifacts.
+//
+// The observability flags (shared across all four commands, see
+// internal/cliutil) never change rendered artifacts: -metrics exports the
+// telemetry registry at exit (Prometheus text, JSON or CSV by extension),
+// -telemetry prints the phase-span timing summary, -http serves /metrics
+// and /debug/pprof for the duration of a long sweep, -v streams live
+// completed/total progress for grid and Table-4 cells, -quiet silences
+// informational stderr output.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"varpower/internal/cliutil"
 	"varpower/internal/experiments"
 	"varpower/internal/report"
 )
@@ -30,20 +40,29 @@ func main() {
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
 		plot    = flag.Bool("plot", false, "also draw ASCII plots of figure shapes (fig1, fig2, fig5)")
 		workers = flag.Int("workers", 0, "fan-out width for per-module and per-cell loops (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		obs     = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers}
-	if *dump != "" {
-		if err := dumpAll(*dump, o); err != nil {
-			fmt.Fprintln(os.Stderr, "varsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(strings.ToLower(*exp), o); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "varsim:", err)
 		os.Exit(1)
+	}
+	if err := obs.Start("varsim"); err != nil {
+		fail(err)
+	}
+	plotShapes = *plot
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress()}
+	var err error
+	if *dump != "" {
+		err = dumpAll(*dump, o)
+	} else {
+		err = run(strings.ToLower(*exp), o)
+	}
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -1,0 +1,156 @@
+// Package cliutil gives the four commands (varsim, pvtgen, powbudget,
+// varsched) one consistent observability and verbosity surface instead of
+// the previous per-command ad-hoc logging:
+//
+//	-metrics FILE   write the telemetry registry at exit; the extension
+//	                picks the encoding (.json → JSON, .csv → CSV,
+//	                anything else → Prometheus text format)
+//	-telemetry      print the phase-span summary to stderr at exit
+//	-http ADDR      serve /metrics, /spans, /debug/vars and /debug/pprof
+//	                for the duration of the run (long sweeps)
+//	-quiet          suppress progress and informational stderr output
+//	-v              verbose: live completed/total progress lines and the
+//	                full span tree with -telemetry
+//
+// All of it is presentation-layer only: none of these flags can change a
+// rendered artifact or a simulated result.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"varpower/internal/telemetry"
+)
+
+// Obs is the parsed observability flag set of one command.
+type Obs struct {
+	metricsPath string
+	httpAddr    string
+	spans       bool
+	quiet       bool
+	verbose     bool
+
+	cmd       string
+	stopHTTP  func() error
+	progMu    sync.Mutex
+	progLast  time.Time
+	progStage string
+}
+
+// AddFlags registers the shared observability flags on fs (use flag
+// .CommandLine from main) and returns the handle the command finishes
+// with. Call Start after flag parsing and defer Close.
+func AddFlags(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.metricsPath, "metrics", "", "write telemetry metrics to this file at exit (.prom/.txt = Prometheus text, .json = JSON, .csv = CSV)")
+	fs.StringVar(&o.httpAddr, "http", "", "serve a debug endpoint on this address for the duration of the run (/metrics, /spans, /debug/pprof, /debug/vars)")
+	fs.BoolVar(&o.spans, "telemetry", false, "print the phase-span timing summary to stderr at exit")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress and informational stderr output")
+	fs.BoolVar(&o.verbose, "v", false, "verbose stderr output (live progress lines; full span tree with -telemetry)")
+	return o
+}
+
+// Start begins the run: cmd names the command for log prefixes; the debug
+// HTTP server is started when -http was given.
+func (o *Obs) Start(cmd string) error {
+	o.cmd = cmd
+	if o.httpAddr != "" {
+		addr, stop, err := telemetry.Serve(o.httpAddr, telemetry.Default(), telemetry.DefaultTracer())
+		if err != nil {
+			return err
+		}
+		o.stopHTTP = stop
+		o.Infof("serving debug endpoint on http://%s/metrics", addr)
+	}
+	return nil
+}
+
+// Close flushes the run's telemetry: the -metrics file, the -telemetry
+// span summary, and the HTTP server shutdown. Safe to call exactly once,
+// typically deferred right after Start.
+func (o *Obs) Close() error {
+	if o.stopHTTP != nil {
+		_ = o.stopHTTP()
+	}
+	if o.spans && !o.quiet {
+		tr := telemetry.DefaultTracer()
+		fmt.Fprintf(os.Stderr, "%s: phase timing:\n", o.cmd)
+		_ = tr.WriteSummary(os.Stderr)
+		if o.verbose {
+			fmt.Fprintln(os.Stderr)
+			_ = tr.WriteTree(os.Stderr)
+		}
+	}
+	if o.metricsPath == "" {
+		return nil
+	}
+	f, err := os.Create(o.metricsPath)
+	if err != nil {
+		return fmt.Errorf("%s: write metrics: %w", o.cmd, err)
+	}
+	defer f.Close()
+	if err := telemetry.Write(f, telemetry.Default(), telemetry.FormatForPath(o.metricsPath)); err != nil {
+		return fmt.Errorf("%s: write metrics: %w", o.cmd, err)
+	}
+	o.Infof("wrote metrics to %s", o.metricsPath)
+	return nil
+}
+
+// Quiet reports whether -quiet is in force.
+func (o *Obs) Quiet() bool { return o.quiet }
+
+// Verbose reports whether -v is in force (and -quiet is not).
+func (o *Obs) Verbose() bool { return o.verbose && !o.quiet }
+
+// Infof prints an informational line to stderr unless -quiet.
+func (o *Obs) Infof(format string, args ...any) {
+	if o.quiet {
+		return
+	}
+	fmt.Fprintf(os.Stderr, o.cmd+": "+format+"\n", args...)
+}
+
+// Debugf prints a line to stderr only under -v.
+func (o *Obs) Debugf(format string, args ...any) {
+	if !o.Verbose() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, o.cmd+": "+format+"\n", args...)
+}
+
+// progressInterval rate-limits live progress lines.
+const progressInterval = 250 * time.Millisecond
+
+// Progress returns a live progress callback for the experiment engines
+// (nil when not verbose, so the engines skip the plumbing entirely). Lines
+// are rate-limited; the final completion of each stage always prints.
+func (o *Obs) Progress() func(stage string, done, total int) {
+	if !o.Verbose() {
+		return nil
+	}
+	return func(stage string, done, total int) {
+		o.progMu.Lock()
+		defer o.progMu.Unlock()
+		now := time.Now()
+		if done != total && stage == o.progStage && now.Sub(o.progLast) < progressInterval {
+			return
+		}
+		o.progLast = now
+		o.progStage = stage
+		fmt.Fprintf(os.Stderr, "%s: %s %d/%d\n", o.cmd, stage, done, total)
+	}
+}
+
+// ProgressFunc adapts Progress to the single-stage signature of
+// parallel.WithProgress for call sites outside internal/experiments.
+func (o *Obs) ProgressFunc(stage string) func(done, total int) {
+	p := o.Progress()
+	if p == nil {
+		return nil
+	}
+	return func(done, total int) { p(stage, done, total) }
+}

@@ -1,0 +1,106 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varpower/internal/telemetry"
+)
+
+func parse(t *testing.T, args ...string) *Obs {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFlagRegistration(t *testing.T) {
+	o := parse(t, "-metrics", "out.json", "-telemetry", "-quiet", "-v")
+	if o.metricsPath != "out.json" || !o.spans || !o.quiet || !o.verbose {
+		t.Fatalf("flags not parsed: %+v", o)
+	}
+	if o.Verbose() {
+		t.Fatal("-quiet must override -v")
+	}
+	if o.Progress() != nil {
+		t.Fatal("Progress must be nil when not verbose")
+	}
+}
+
+func TestCloseWritesMetricsFileByExtension(t *testing.T) {
+	telemetry.Default().Counter("cliutil_test_total", "", nil).Inc()
+	dir := t.TempDir()
+	cases := []struct {
+		file string
+		want string // marker that identifies the encoding
+	}{
+		{"m.prom", "# TYPE cliutil_test_total counter"},
+		{"m.json", `"name": "cliutil_test_total"`},
+		{"m.csv", "name,type,labels,field,value"},
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.file)
+		o := parse(t, "-metrics", path, "-quiet")
+		if err := o.Start("test"); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), c.want) {
+			t.Fatalf("%s: output lacks %q:\n%s", c.file, c.want, b)
+		}
+	}
+}
+
+func TestCloseMetricsWriteFailureSurfaces(t *testing.T) {
+	o := parse(t, "-metrics", filepath.Join(t.TempDir(), "no/such/dir/m.prom"), "-quiet")
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err == nil {
+		t.Fatal("unwritable -metrics path must error")
+	}
+}
+
+func TestHTTPEndpointServesMetrics(t *testing.T) {
+	o := parse(t, "-http", "127.0.0.1:0", "-quiet")
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.stopHTTP == nil {
+		t.Fatal("HTTP server not started")
+	}
+}
+
+func TestProgressFinalAlwaysPrints(t *testing.T) {
+	o := parse(t, "-v")
+	o.cmd = "test"
+	p := o.Progress()
+	if p == nil {
+		t.Fatal("verbose Progress must be non-nil")
+	}
+	// Rapid-fire updates: intermediate calls are rate-limited (untestable
+	// without stderr capture), but the done==total call must not panic and
+	// must reset no state that breaks a following stage.
+	for i := 1; i <= 10; i++ {
+		p("stage-a", i, 10)
+	}
+	p("stage-b", 1, 1)
+	if fn := o.ProgressFunc("stage-c"); fn == nil {
+		t.Fatal("ProgressFunc must be non-nil under -v")
+	} else {
+		fn(1, 1)
+	}
+}

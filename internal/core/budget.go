@@ -4,7 +4,28 @@ import (
 	"fmt"
 
 	"varpower/internal/hw/module"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
+)
+
+// Budget-solver telemetry: solve counts by outcome, plus gauges tracking
+// the most recent α and budget residual (budget minus the sum of the
+// per-module allocations — the slack the linear model leaves on the
+// table). Under a parallel grid the gauges hold the last-finished cell's
+// values; the counters and the α histogram aggregate across all solves.
+var (
+	mSolves = telemetry.Default().Counter("varpower_budget_solves_total",
+		"Budget solves (Equations 1-9).", nil)
+	mSolveInfeasible = telemetry.Default().Counter("varpower_budget_infeasible_total",
+		"Solves declared infeasible (budget below best-effort fmin power).", nil)
+	mSolveClamped = telemetry.Default().Counter("varpower_budget_clamped_total",
+		"Solves with alpha clamped to 0 (best-effort admission below predicted fmin power).", nil)
+	mAlphaGauge = telemetry.Default().Gauge("varpower_budget_alpha",
+		"Alpha of the most recent budget solve.", nil)
+	mResidualGauge = telemetry.Default().Gauge("varpower_budget_residual_watts",
+		"Budget minus summed per-module allocation of the most recent solve.", nil)
+	mAlphaHist = telemetry.Default().Histogram("varpower_budget_alpha_hist",
+		"Distribution of solved alpha values.", telemetry.ExpBuckets(0.05, 1.26, 16), nil)
 )
 
 // ModuleAlloc is the power allocation derived for one module (Equations
@@ -133,5 +154,15 @@ func Solve(pmt *PMT, arch *module.Arch, budget units.Watts) (*Allocation, error)
 			Pcpu:     pm - pd,
 		}
 	}
+	mSolves.Inc()
+	if !alloc.Feasible {
+		mSolveInfeasible.Inc()
+	}
+	if alloc.Clamped {
+		mSolveClamped.Inc()
+	}
+	mAlphaGauge.Set(alloc.Alpha)
+	mAlphaHist.Observe(alloc.Alpha)
+	mResidualGauge.Set(float64(budget - alloc.TotalPredicted()))
 	return alloc, nil
 }

@@ -6,6 +6,7 @@ import (
 	"varpower/internal/cluster"
 	"varpower/internal/measure"
 	"varpower/internal/parallel"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -131,6 +132,8 @@ func OraclePMT(sys *cluster.System, bench *workload.Benchmark, moduleIDs []int) 
 // worker count. Duplicate module IDs fall back to the serial loop — their
 // test runs reprogram the shared governor in order.
 func OraclePMTWorkers(sys *cluster.System, bench *workload.Benchmark, moduleIDs []int, workers int) (*PMT, error) {
+	span := telemetry.StartSpan("pmt.oracle").Annotate("%s modules=%d", bench.Name, len(moduleIDs))
+	defer span.End()
 	if hasDuplicates(moduleIDs) {
 		workers = 1
 	}

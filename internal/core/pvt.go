@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"varpower/internal/cluster"
 	"varpower/internal/measure"
 	"varpower/internal/parallel"
+	"varpower/internal/telemetry"
 	"varpower/internal/workload"
 )
 
@@ -81,13 +83,23 @@ func GeneratePVT(sys *cluster.System, micro *workload.Benchmark) (*PVT, error) {
 // random draw comes from a (seed, moduleID, ...)-keyed stream, so the table
 // is byte-identical for every worker count.
 func GeneratePVTWorkers(sys *cluster.System, micro *workload.Benchmark, workers int) (*PVT, error) {
+	return GeneratePVTCtx(context.Background(), sys, micro, workers)
+}
+
+// GeneratePVTCtx is GeneratePVTWorkers with context cancellation; a
+// progress callback attached via parallel.WithProgress receives per-module
+// completion updates (the install-time sweep over a full machine is the
+// longest single phase in the repository).
+func GeneratePVTCtx(ctx context.Context, sys *cluster.System, micro *workload.Benchmark, workers int) (*PVT, error) {
 	if micro == nil {
 		micro = workload.PVTMicrobenchmark()
 	}
+	span := telemetry.StartSpan("pvt.generate").Annotate("%s modules=%d", sys.Spec.Name, sys.NumModules())
+	defer span.End()
 	arch := sys.Spec.Arch
 	n := sys.NumModules()
 	type raw struct{ cpuMax, dramMax, cpuMin, dramMin float64 }
-	raws, err := parallel.Map(workers, n, func(id int) (raw, error) {
+	raws, err := parallel.MapCtx(ctx, workers, n, func(_ context.Context, id int) (raw, error) {
 		hi, err := measure.TestRun(sys, micro, id, arch.FNom)
 		if err != nil {
 			return raw{}, fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)

@@ -6,6 +6,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/measure"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -211,6 +212,8 @@ func (e ErrBudgetInfeasible) Error() string {
 // scheme) combination: instrument, test-run/calibrate per the scheme, solve
 // for α, enforce via PC or FS, and run the application.
 func (fw *Framework) Run(bench *workload.Benchmark, moduleIDs []int, budget units.Watts, scheme Scheme) (*SchemeRun, error) {
+	span := telemetry.StartSpan("framework.run").Annotate("%s %v %v", bench.Name, budget, scheme)
+	defer span.End()
 	inst, err := Instrument(bench)
 	if err != nil {
 		return nil, err
@@ -218,7 +221,9 @@ func (fw *Framework) Run(bench *workload.Benchmark, moduleIDs []int, budget unit
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	sp := span.Start("pmt.build")
 	pmt, err := fw.BuildPMT(bench, moduleIDs, scheme)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +239,9 @@ func (fw *Framework) Run(bench *workload.Benchmark, moduleIDs []int, budget unit
 		}
 		solveBudget = units.Watts(float64(budget) * (1 - margin))
 	}
+	sp = span.Start("budget.solve")
 	alloc, err := Solve(pmt, fw.Sys.Spec.Arch, solveBudget)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +249,9 @@ func (fw *Framework) Run(bench *workload.Benchmark, moduleIDs []int, budget unit
 	if !alloc.Feasible {
 		return nil, ErrBudgetInfeasible{Scheme: scheme, Budget: budget}
 	}
+	sp = span.Start("framework.execute")
 	res, err := fw.Execute(bench, moduleIDs, alloc, scheme)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,10 @@
 package experiments
 
 import (
+	"context"
+
 	"varpower/internal/cluster"
+	"varpower/internal/parallel"
 	"varpower/internal/units"
 )
 
@@ -46,6 +49,24 @@ type Options struct {
 	// Per-module RNG streams make the rendered artifacts byte-identical
 	// for every worker count.
 	Workers int
+
+	// Progress, when non-nil, receives live completion updates from the
+	// long generators (the evaluation grid's cells, Table 4's rows): the
+	// stage name plus done/total task counts. Calls arrive from worker
+	// goroutines; implementations must be concurrency-safe. Progress is
+	// presentation-only and cannot perturb any generated artifact.
+	Progress func(stage string, done, total int)
+}
+
+// progressCtx returns a context carrying this Options' progress callback
+// bound to a stage name (background context when no callback is set).
+func (o Options) progressCtx(stage string) context.Context {
+	ctx := context.Background()
+	if o.Progress == nil {
+		return ctx
+	}
+	fn := o.Progress
+	return parallel.WithProgress(ctx, func(done, total int) { fn(stage, done, total) })
 }
 
 // withDefaults fills unset fields with the paper's scales.

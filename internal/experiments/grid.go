@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/parallel"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -77,8 +79,10 @@ func EvaluationGrid(o Options) (*EvalGrid, error) {
 			}
 		}
 	}
-	g.Cells, err = parallel.Map(o.Workers, len(specs), func(i int) (GridCell, error) {
+	g.Cells, err = parallel.MapCtx(o.progressCtx("grid"), o.Workers, len(specs), func(_ context.Context, i int) (GridCell, error) {
 		s := specs[i]
+		span := telemetry.StartSpan("grid.cell").Annotate("%s %v %v", s.bench.Name, s.cs, s.scheme)
+		defer span.End()
 		run, err := fw.Clone().Run(s.bench, ids, CsForScale(s.cs, len(ids)), s.scheme)
 		return GridCell{Bench: s.bench.Name, Cs: s.cs, Scheme: s.scheme, Run: run, Err: err}, nil
 	})

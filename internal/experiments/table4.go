@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"varpower/internal/parallel"
 	"varpower/internal/report"
 	"varpower/internal/stats"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -71,8 +73,10 @@ func Table4(o Options) (Table4Result, error) {
 	// derive only from deterministic operating points, so the table is
 	// byte-identical for every worker count.
 	benches := workload.Evaluated()
-	out.Rows, err = parallel.Map(o.Workers, len(benches), func(i int) (Table4Row, error) {
+	out.Rows, err = parallel.MapCtx(o.progressCtx("table4"), o.Workers, len(benches), func(_ context.Context, i int) (Table4Row, error) {
 		b := benches[i]
+		span := telemetry.StartSpan("table4.row").Annotate("%s", b.Name)
+		defer span.End()
 		rsys := sys.Clone()
 		unc, err := measure.Run(rsys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers})
 		if err != nil {

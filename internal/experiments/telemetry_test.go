@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"varpower/internal/telemetry"
+)
+
+// TestGridEmitsRequiredMetricFamilies is the acceptance-criterion guard for
+// the telemetry layer: after a small evaluation-grid run, the default
+// registry must expose the clamp counter, the per-rank wait-time histogram,
+// the budget residual gauge, and the phase-span duration histogram — the
+// same families CI greps for in varsim's -metrics output.
+func TestGridEmitsRequiredMetricFamilies(t *testing.T) {
+	if _, err := EvaluationGrid(Options{HA8KModules: 64}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, telemetry.Default()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, family := range []string{
+		"varpower_rapl_clamp_events_total",
+		"varpower_mpi_rank_wait_seconds",
+		"varpower_budget_residual_watts",
+		"varpower_phase_duration_seconds",
+		"varpower_parallel_tasks_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("metric family %q missing from Prometheus output", family)
+		}
+	}
+	if !strings.Contains(out, `varpower_phase_duration_seconds_bucket{le="`) {
+		t.Error("phase-duration histogram has no unlabeled buckets? expected per-phase series")
+	}
+}
+
+// TestGridProgressReporting: Options.Progress receives per-cell completion
+// for the grid stage, finishing at done == total.
+func TestGridProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	finals := map[string][2]int{}
+	o := Options{HA8KModules: 64, Progress: func(stage string, done, total int) {
+		mu.Lock()
+		finals[stage] = [2]int{done, total}
+		mu.Unlock()
+	}}
+	if _, err := EvaluationGrid(o); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := finals["grid"]
+	if !ok {
+		t.Fatalf("no progress reported for stage %q (stages seen: %v)", "grid", finals)
+	}
+	if got[0] != got[1] || got[0] == 0 {
+		t.Fatalf("grid progress ended at %d/%d, want done == total > 0", got[0], got[1])
+	}
+}
+
+// TestGridDeterministicWithTelemetry re-checks the engine's worker-count
+// determinism with progress callbacks attached — telemetry must be
+// write-only with respect to simulation state.
+func TestGridDeterministicWithTelemetry(t *testing.T) {
+	run := func(workers int) *EvalGrid {
+		g, err := EvaluationGrid(Options{
+			HA8KModules: 64,
+			Workers:     workers,
+			Progress:    func(string, int, int) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	base := run(1)
+	par := run(4)
+	if len(base.Cells) != len(par.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(base.Cells), len(par.Cells))
+	}
+	for i := range base.Cells {
+		if !reflect.DeepEqual(base.Cells[i], par.Cells[i]) {
+			t.Fatalf("cell %d (%s, %v, %v) differs across worker counts with telemetry on",
+				i, base.Cells[i].Bench, base.Cells[i].Cs, base.Cells[i].Scheme)
+		}
+	}
+}

@@ -11,7 +11,20 @@ import (
 	"fmt"
 
 	"varpower/internal/hw/module"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
+)
+
+// Governor telemetry: how often userspace pins a clock, how often the pin
+// actually moved the target P-state (a real PLL relock on hardware), and
+// how often modules are released back to hardware control.
+var (
+	mSetCalls = telemetry.Default().Counter("varpower_cpufreq_set_calls_total",
+		"SetSpeed invocations (cpufreq-set writes).", nil)
+	mTransitions = telemetry.Default().Counter("varpower_cpufreq_transitions_total",
+		"Frequency transitions: SetSpeed calls whose selected P-state differs from the one in force.", nil)
+	mReleases = telemetry.Default().Counter("varpower_cpufreq_releases_total",
+		"Governor releases back to hardware-managed operation.", nil)
 )
 
 // Governor pins one module's frequency.
@@ -42,13 +55,23 @@ func (g *Governor) SetSpeed(f units.Hertz) (units.Hertz, error) {
 	if f <= 0 {
 		return 0, fmt.Errorf("cpufreq: non-positive frequency %v", f)
 	}
-	g.target = g.mod.Arch.QuantizeDown(f)
+	mSetCalls.Inc()
+	next := g.mod.Arch.QuantizeDown(f)
+	if !g.pinned || next != g.target {
+		mTransitions.Inc()
+	}
+	g.target = next
 	g.pinned = true
 	return g.target, nil
 }
 
 // Release returns the module to hardware-managed (ondemand/turbo) operation.
-func (g *Governor) Release() { g.pinned = false }
+func (g *Governor) Release() {
+	if g.pinned {
+		mReleases.Inc()
+	}
+	g.pinned = false
+}
 
 // Pinned reports whether a userspace frequency is in force, and which.
 func (g *Governor) Pinned() (units.Hertz, bool) { return g.target, g.pinned }

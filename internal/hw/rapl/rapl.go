@@ -24,8 +24,28 @@ import (
 
 	"varpower/internal/hw/module"
 	"varpower/internal/hw/msr"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/xrand"
+)
+
+// RAPL telemetry (the clamp-side half of the paper's Vp/Vf measurements):
+// how often programmed caps bind, how often DVFS is exhausted into
+// duty-cycle throttling, and how much natural draw each binding cap clamps
+// away. Handles are resolved once at init; recording is atomic and
+// write-only, so enabling telemetry cannot perturb any simulated result.
+var (
+	mLimitWrites = telemetry.Default().Counter("varpower_rapl_limit_writes_total",
+		"Package power limit writes through MSR_PKG_POWER_LIMIT.", nil)
+	mClampEvents = telemetry.Default().Counter("varpower_rapl_clamp_events_total",
+		"Operating-point resolutions where the programmed cap bound (delivered frequency below the uncapped point).", nil)
+	mThrottleEvents = telemetry.Default().Counter("varpower_rapl_throttle_events_total",
+		"Resolutions that exhausted DVFS and fell back to duty-cycle throttling below FMin.", nil)
+	mInfeasible = telemetry.Default().Counter("varpower_rapl_infeasible_total",
+		"Resolutions with no feasible operating point (cap below the module's idle floor).", nil)
+	mPowerAboveCap = telemetry.Default().Histogram("varpower_rapl_power_above_cap_watts",
+		"Natural (uncapped) CPU power in excess of a binding cap — how many watts RAPL clamped away.",
+		telemetry.WattBuckets, nil)
 )
 
 // ControlModel parameterises the imperfection of RAPL's dynamic control.
@@ -77,6 +97,7 @@ func (c *Controller) SetPkgLimit(w units.Watts, window units.Seconds) error {
 		Enabled: true,
 		Clamp:   true,
 	})
+	mLimitWrites.Inc()
 	return c.dev.Write(msr.PkgPowerLimit, raw)
 }
 
@@ -115,7 +136,15 @@ func (c *Controller) OperatingPoint(p module.PowerProfile) (module.OperatingPoin
 	}
 	op, ok := c.mod.Capped(p, units.Watts(lim.Watts))
 	if !ok {
+		mInfeasible.Inc()
 		return module.OperatingPoint{}, false
+	}
+	if unc := c.mod.Uncapped(p); float64(unc.CPUPower) > lim.Watts {
+		mClampEvents.Inc()
+		mPowerAboveCap.Observe(float64(unc.CPUPower) - lim.Watts)
+	}
+	if op.Throttled {
+		mThrottleEvents.Inc()
 	}
 	if loss := c.controlLoss(p, lim.Watts); loss > 0 {
 		op.Freq = units.Hertz(float64(op.Freq) * (1 - loss))

@@ -19,9 +19,27 @@ import (
 	"varpower/internal/hw/module"
 	"varpower/internal/parallel"
 	"varpower/internal/simmpi"
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 	"varpower/internal/xrand"
+)
+
+// Run telemetry: per-mode run counts and the rank wait-time distribution
+// including the MPI_Finalize barrier tail (simmpi's histogram covers only
+// in-program waits). Spans time the three pipeline phases of each run.
+var (
+	mRuns = func() map[Mode]*telemetry.Counter {
+		m := make(map[Mode]*telemetry.Counter, 3)
+		for mode, name := range map[Mode]string{ModeUncapped: "uncapped", ModeCapped: "capped", ModePinned: "pinned"} {
+			m[mode] = telemetry.Default().Counter("varpower_measure_runs_total",
+				"Measured application runs, by control mode.", telemetry.Labels{"mode": name})
+		}
+		return m
+	}()
+	mRankWait = telemetry.Default().Histogram("varpower_measure_rank_wait_seconds",
+		"Per-rank wait time over the whole run (in-program waits plus the finalize barrier), in simulated seconds.",
+		telemetry.SecondBuckets, nil)
 )
 
 // Mode selects how module power/frequency is controlled during a run.
@@ -127,23 +145,32 @@ func Run(sys *cluster.System, cfg Config) (Result, error) {
 	if err := validate(sys, &cfg); err != nil {
 		return Result{}, err
 	}
+	mRuns[cfg.Mode].Inc()
+	span := telemetry.StartSpan("measure.run").Annotate("%s ranks=%d", cfg.Bench.Name, len(cfg.Modules))
+	defer span.End()
 	n := len(cfg.Modules)
 	prof := cfg.Bench.ProfileFor(sys.Spec.Arch)
 
 	// Resolve each rank's steady-state operating point. Each rank programs
 	// and reads only its own module's RAPL controller and governor, so the
 	// fan-out is safe whenever the module IDs are distinct.
+	sp := span.Start("measure.resolve")
 	ops, err := parallel.Map(rankWorkers(cfg), n, func(rank int) (module.OperatingPoint, error) {
 		return resolve(sys, cfg, prof, rank, cfg.Modules[rank])
 	})
+	sp.End()
 	if err != nil {
 		return Result{}, err
 	}
 
+	sp = span.Start("measure.simulate")
 	res, err := simulate(sys, cfg, ops)
+	sp.End()
 	if err != nil {
 		return Result{}, err
 	}
+	sp = span.Start("measure.account")
+	defer sp.End()
 	return account(sys, cfg, prof, ops, res)
 }
 
@@ -275,6 +302,7 @@ func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []mo
 		if wait < 0 {
 			wait = 0
 		}
+		mRankWait.Observe(float64(wait))
 		// The RAPL energy counters are 32-bit and wrap every ~64 kJ, so —
 		// exactly like libmsr-based tools — poll them periodically rather
 		// than once per run. Thirty virtual seconds per poll keeps each

@@ -28,9 +28,49 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"varpower/internal/telemetry"
 )
+
+// Fan-out telemetry: every task's wall-clock duration feeds one histogram
+// and a counter, so sweeps expose their per-task cost distribution without
+// any per-call-site wiring. Handles are resolved once; the per-task cost
+// is two atomic adds plus a mutexed histogram insert.
+var (
+	mTasks = telemetry.Default().Counter("varpower_parallel_tasks_total",
+		"Tasks executed by the parallel fan-out engine.", nil)
+	mTaskDur = telemetry.Default().Histogram("varpower_parallel_task_seconds",
+		"Wall-clock duration of individual parallel tasks.", nil, nil)
+)
+
+// progressKey carries a ProgressFunc through a context.
+type progressKey struct{}
+
+// ProgressFunc receives completion updates during a fan-out: done tasks
+// out of total. It is called after every task completion — successful or
+// not — from whichever goroutine finished the task, so implementations
+// must be safe for concurrent use (an atomic print is enough). Progress is
+// presentation-only: it cannot influence task scheduling or results.
+type ProgressFunc func(done, total int)
+
+// WithProgress attaches a progress callback to ctx; MapCtx/ForEachCtx
+// invocations under that context report per-task completion to it. Nested
+// fan-outs inherit the context, so attach progress only at the granularity
+// you want reported (e.g. grid cells, not per-rank inner loops) — or strip
+// it with WithProgress(ctx, nil).
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the callback, nil when absent.
+func progressFrom(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey{}).(ProgressFunc)
+	return fn
+}
 
 // Workers resolves a requested worker count: values < 1 select
 // runtime.GOMAXPROCS(0) (the default everywhere in this repository), and the
@@ -93,6 +133,15 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	if n == 0 {
 		return out, nil
 	}
+	progress := progressFrom(ctx)
+	var done atomic.Int64
+	finish := func(start time.Time) {
+		mTasks.Inc()
+		mTaskDur.Observe(time.Since(start).Seconds())
+		if progress != nil {
+			progress(int(done.Add(1)), n)
+		}
+	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		// Serial fast path: no goroutines, no synchronisation — exactly
@@ -101,7 +150,9 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			start := time.Now()
 			v, err := fn(ctx, i)
+			finish(start)
 			if err != nil {
 				return nil, fmt.Errorf("parallel: task %d: %w", i, err)
 			}
@@ -134,11 +185,14 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 				return
 			}
 			func() {
+				start := time.Now()
+				defer finish(start)
 				defer func() {
 					if r := recover(); r != nil {
-						stack := make([]byte, 64<<10)
-						stack = stack[:runtime.Stack(stack, false)]
-						record(indexed{index: i, panic: &PanicError{Index: i, Value: r, Stack: stack}})
+						// debug.Stack grows its buffer to fit, so deep
+						// task stacks are never truncated the way a
+						// fixed-size runtime.Stack buffer would be.
+						record(indexed{index: i, panic: &PanicError{Index: i, Value: r, Stack: debug.Stack()}})
 					}
 				}()
 				v, err := fn(ctx, i)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -197,6 +198,77 @@ func TestForEachCtx(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWithProgress: every completed task reports exactly once, the final
+// report is (n, n), and done values cover 1..n with no duplicates.
+func TestWithProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 64
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		ctx := WithProgress(context.Background(), func(done, total int) {
+			if total != n {
+				t.Errorf("workers=%d: total = %d, want %d", workers, total, n)
+			}
+			mu.Lock()
+			seen[done]++
+			mu.Unlock()
+		})
+		if _, err := MapCtx(ctx, workers, n, func(ctx context.Context, i int) (int, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: %d distinct done values, want %d", workers, len(seen), n)
+		}
+		for d := 1; d <= n; d++ {
+			if seen[d] != 1 {
+				t.Fatalf("workers=%d: done=%d reported %d times", workers, d, seen[d])
+			}
+		}
+	}
+}
+
+// TestWithProgressStrip: WithProgress(ctx, nil) shadows an outer callback so
+// nested fan-outs stay silent.
+func TestWithProgressStrip(t *testing.T) {
+	var calls atomic.Int64
+	outer := WithProgress(context.Background(), func(done, total int) { calls.Add(1) })
+	inner := WithProgress(outer, nil)
+	if _, err := MapCtx(inner, 2, 8, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("stripped progress still fired %d times", calls.Load())
+	}
+}
+
+// TestPanicErrorStackNamesCulprit: the captured stack must include the
+// panicking function's name — the whole point of carrying the worker-side
+// stack to the caller's goroutine.
+func TestPanicErrorStackNamesCulprit(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatal("expected *PanicError")
+		}
+		if !strings.Contains(string(pe.Stack), "explosiveTask") {
+			t.Fatalf("stack does not name the panicking function:\n%s", pe.Stack)
+		}
+	}()
+	Map(2, 4, func(i int) (int, error) {
+		if i == 2 {
+			explosiveTask()
+		}
+		return i, nil
+	})
+}
+
+//go:noinline
+func explosiveTask() { panic("bang") }
 
 // TestMapDeterministicReduction mimics the simulation's usage pattern:
 // float accumulation in index order after the fan-out must be bit-identical

@@ -24,7 +24,30 @@ import (
 	"fmt"
 	"math"
 
+	"varpower/internal/telemetry"
 	"varpower/internal/units"
+)
+
+// MPI runtime telemetry — the Vt side of the paper's measurements: how the
+// simulated application's time splits into per-rank busy and wait
+// (Figures 3 and 5 are distributions over exactly these quantities), and
+// how much communication structure each run carried. Busy/wait are in
+// *virtual* (simulated) seconds; counters are incremented once per round,
+// not per rank, so the hot loop stays untouched.
+var (
+	mRounds = func() map[string]*telemetry.Counter {
+		m := make(map[string]*telemetry.Counter, 4)
+		for _, kind := range []string{"compute", "sendrecv", "barrier", "allreduce"} {
+			m[kind] = telemetry.Default().Counter("varpower_mpi_rounds_total",
+				"SPMD operation rounds executed, by operation kind.", telemetry.Labels{"kind": kind})
+		}
+		return m
+	}()
+	mRankBusy = telemetry.Default().Histogram("varpower_mpi_rank_busy_seconds",
+		"Per-rank compute (busy) time per run, in simulated seconds.", telemetry.SecondBuckets, nil)
+	mRankWait = telemetry.Default().Histogram("varpower_mpi_rank_wait_seconds",
+		"Per-rank time blocked on slower peers per run, in simulated seconds — the paper's wait-time inhomogeneity signal.",
+		telemetry.SecondBuckets, nil)
 )
 
 // Op is one operation of a rank's program.
@@ -149,6 +172,7 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 		proto := p.Round(0, r)
 		switch proto.(type) {
 		case Compute:
+			mRounds["compute"].Inc()
 			for rank := 0; rank < size; rank++ {
 				op, ok := p.Round(rank, r).(Compute)
 				if !ok {
@@ -163,6 +187,7 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 			}
 
 		case Sendrecv:
+			mRounds["sendrecv"].Inc()
 			copy(arrive, t)
 			for rank := 0; rank < size; rank++ {
 				op, ok := p.Round(rank, r).(Sendrecv)
@@ -188,6 +213,11 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 			}
 
 		case Barrier, Allreduce:
+			if _, isAR := proto.(Allreduce); isAR {
+				mRounds["allreduce"].Inc()
+			} else {
+				mRounds["barrier"].Inc()
+			}
 			copy(arrive, t)
 			var max units.Seconds
 			for rank := 0; rank < size; rank++ {
@@ -221,6 +251,8 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 		if t[rank] > res.Elapsed {
 			res.Elapsed = t[rank]
 		}
+		mRankBusy.Observe(float64(res.Ranks[rank].Busy))
+		mRankWait.Observe(float64(res.Ranks[rank].Wait))
 	}
 	return res, nil
 }

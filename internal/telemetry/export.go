@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// quantiles exported by the JSON and CSV forms.
+var exportQuantiles = []float64{0, 0.5, 0.9, 0.99, 1}
+
+// formatFloat renders a float the way the Prometheus text format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set (plus optional extra pair) as
+// {a="1",b="2"}, keys sorted, empty string for no labels.
+func promLabels(labels Labels, extraKey, extraVal string) string {
+	n := len(labels)
+	if extraKey != "" {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, n)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	if extraKey != "" {
+		keys = append(keys, extraKey)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		if k == extraKey {
+			v = extraVal
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, fam.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Series {
+			switch fam.Type {
+			case TypeCounter, TypeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", fam.Name, promLabels(s.Labels, "", ""), formatFloat(s.Value))
+			case TypeHistogram:
+				h := s.Hist
+				var cum uint64
+				for i, bound := range h.Bounds {
+					cum += h.Counts[i]
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.Name,
+						promLabels(s.Labels, "le", formatFloat(bound)), cum)
+				}
+				cum += h.Counts[len(h.Bounds)]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.Name, promLabels(s.Labels, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", fam.Name, promLabels(s.Labels, "", ""), formatFloat(h.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", fam.Name, promLabels(s.Labels, "", ""), h.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonSeries is the JSON form of one series.
+type jsonSeries struct {
+	Labels Labels             `json:"labels,omitempty"`
+	Value  *float64           `json:"value,omitempty"`
+	Count  *uint64            `json:"count,omitempty"`
+	Sum    *float64           `json:"sum,omitempty"`
+	Min    *float64           `json:"min,omitempty"`
+	Max    *float64           `json:"max,omitempty"`
+	Q      map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// jsonFamily is the JSON form of one family.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as an indented JSON document:
+// {"metrics": [{name, type, help, series: [...]}]}. Histogram series carry
+// count/sum/min/max and the 0/0.5/0.9/0.99/1 quantiles.
+func WriteJSON(w io.Writer, r *Registry) error {
+	doc := struct {
+		Metrics []jsonFamily `json:"metrics"`
+	}{Metrics: []jsonFamily{}}
+	for _, fam := range r.Gather() {
+		jf := jsonFamily{Name: fam.Name, Type: fam.Type.String(), Help: fam.Help}
+		for _, s := range fam.Series {
+			js := jsonSeries{Labels: s.Labels}
+			if fam.Type == TypeHistogram {
+				h := s.Hist
+				count, sum := h.Count, h.Sum
+				js.Count, js.Sum = &count, &sum
+				if h.Count > 0 {
+					min, max := h.Min, h.Max
+					js.Min, js.Max = &min, &max
+					js.Q = make(map[string]float64, len(exportQuantiles))
+					for _, p := range exportQuantiles {
+						if q, ok := h.Quantile(p); ok {
+							js.Q[quantileName(p)] = q
+						}
+					}
+				}
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		doc.Metrics = append(doc.Metrics, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// quantileName renders p as the conventional pNN key ("p50", "p99", …).
+func quantileName(p float64) string {
+	return "p" + strconv.FormatFloat(p*100, 'g', -1, 64)
+}
+
+// WriteCSV renders the registry as long-form CSV:
+// name,type,labels,field,value — one row per scalar, several (count, sum,
+// min, max, quantiles) per histogram series.
+func WriteCSV(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "name,type,labels,field,value"); err != nil {
+		return err
+	}
+	row := func(name string, typ MetricType, labels Labels, field string, value string) {
+		fmt.Fprintf(bw, "%s,%s,%q,%s,%s\n", name, typ, labels.key(), field, value)
+	}
+	for _, fam := range r.Gather() {
+		for _, s := range fam.Series {
+			switch fam.Type {
+			case TypeCounter, TypeGauge:
+				row(fam.Name, fam.Type, s.Labels, "value", formatFloat(s.Value))
+			case TypeHistogram:
+				h := s.Hist
+				row(fam.Name, fam.Type, s.Labels, "count", strconv.FormatUint(h.Count, 10))
+				row(fam.Name, fam.Type, s.Labels, "sum", formatFloat(h.Sum))
+				if h.Count > 0 {
+					row(fam.Name, fam.Type, s.Labels, "min", formatFloat(h.Min))
+					row(fam.Name, fam.Type, s.Labels, "max", formatFloat(h.Max))
+					for _, p := range exportQuantiles {
+						if q, ok := h.Quantile(p); ok {
+							row(fam.Name, fam.Type, s.Labels, quantileName(p), formatFloat(q))
+						}
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Format selects an export encoding.
+type Format int
+
+// Export encodings.
+const (
+	FormatPrometheus Format = iota
+	FormatJSON
+	FormatCSV
+)
+
+// FormatForPath picks the export encoding from a file extension:
+// .json → JSON, .csv → CSV, anything else (.prom, .txt, none) →
+// Prometheus text.
+func FormatForPath(path string) Format {
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		return FormatJSON
+	case strings.HasSuffix(path, ".csv"):
+		return FormatCSV
+	}
+	return FormatPrometheus
+}
+
+// Write renders the registry in the chosen format.
+func Write(w io.Writer, r *Registry, f Format) error {
+	switch f {
+	case FormatJSON:
+		return WriteJSON(w, r)
+	case FormatCSV:
+		return WriteCSV(w, r)
+	}
+	return WritePrometheus(w, r)
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a small deterministic registry exercising every
+// metric type, labels, and histogram bucket/overflow behaviour.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("varpower_rapl_clamp_events_total", "Caps that bound.", nil).Add(42)
+	r.Gauge("varpower_budget_residual_watts", "Budget slack.", nil).Set(-12.5)
+	h := r.Histogram("varpower_mpi_rank_wait_seconds", "Rank wait time.", []float64{0.1, 1, 10}, Labels{"bench": "mhd"})
+	for _, v := range []float64{0.05, 0.5, 0.5, 2, 200} {
+		h.Observe(v)
+	}
+	return r
+}
+
+const goldenProm = `# HELP varpower_budget_residual_watts Budget slack.
+# TYPE varpower_budget_residual_watts gauge
+varpower_budget_residual_watts -12.5
+# HELP varpower_mpi_rank_wait_seconds Rank wait time.
+# TYPE varpower_mpi_rank_wait_seconds histogram
+varpower_mpi_rank_wait_seconds_bucket{bench="mhd",le="0.1"} 1
+varpower_mpi_rank_wait_seconds_bucket{bench="mhd",le="1"} 3
+varpower_mpi_rank_wait_seconds_bucket{bench="mhd",le="10"} 4
+varpower_mpi_rank_wait_seconds_bucket{bench="mhd",le="+Inf"} 5
+varpower_mpi_rank_wait_seconds_sum{bench="mhd"} 203.05
+varpower_mpi_rank_wait_seconds_count{bench="mhd"} 5
+# HELP varpower_rapl_clamp_events_total Caps that bound.
+# TYPE varpower_rapl_clamp_events_total counter
+varpower_rapl_clamp_events_total 42
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenProm {
+		t.Fatalf("Prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenProm)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	// Structural golden: decode and verify the load-bearing fields, so the
+	// test does not break on JSON indentation details.
+	var doc struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []struct {
+				Labels map[string]string  `json:"labels"`
+				Value  *float64           `json:"value"`
+				Count  *uint64            `json:"count"`
+				Sum    *float64           `json:"sum"`
+				Min    *float64           `json:"min"`
+				Max    *float64           `json:"max"`
+				Q      map[string]float64 `json:"quantiles"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("got %d metrics, want 3", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "varpower_budget_residual_watts" || doc.Metrics[0].Type != "gauge" ||
+		*doc.Metrics[0].Series[0].Value != -12.5 {
+		t.Fatalf("gauge family wrong: %+v", doc.Metrics[0])
+	}
+	hist := doc.Metrics[1]
+	if hist.Name != "varpower_mpi_rank_wait_seconds" || hist.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hist)
+	}
+	s := hist.Series[0]
+	if s.Labels["bench"] != "mhd" || *s.Count != 5 || *s.Sum != 203.05 || *s.Min != 0.05 || *s.Max != 200 {
+		t.Fatalf("histogram series wrong: %+v", s)
+	}
+	if s.Q["p0"] != 0.05 || s.Q["p100"] != 200 {
+		t.Fatalf("histogram quantiles wrong: %+v", s.Q)
+	}
+	if doc.Metrics[2].Name != "varpower_rapl_clamp_events_total" || *doc.Metrics[2].Series[0].Value != 42 {
+		t.Fatalf("counter family wrong: %+v", doc.Metrics[2])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "name,type,labels,field,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	wantRows := []string{
+		`varpower_budget_residual_watts,gauge,"",value,-12.5`,
+		`varpower_mpi_rank_wait_seconds,histogram,"bench=mhd",count,5`,
+		`varpower_rapl_clamp_events_total,counter,"",value,42`,
+	}
+	for _, want := range wantRows {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("CSV missing row %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]Format{
+		"out.prom":    FormatPrometheus,
+		"out.txt":     FormatPrometheus,
+		"metrics":     FormatPrometheus,
+		"out.json":    FormatJSON,
+		"metrics.csv": FormatCSV,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Fatalf("FormatForPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"v": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %s", buf.String())
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefTimeBuckets is the default histogram layout for wall-clock durations
+// in seconds: 1 µs to ~100 s, roughly quarter-decade spaced. It covers
+// both the microsecond-scale per-task spans of the parallel engine and the
+// multi-minute grid sweeps.
+var DefTimeBuckets = ExpBuckets(1e-6, math.Sqrt(10), 17)
+
+// WattBuckets is the default layout for power quantities (watts): 0.5 W to
+// ~130 W, covering the per-module clamp magnitudes of every Table-1
+// architecture.
+var WattBuckets = ExpBuckets(0.5, math.Sqrt2, 17)
+
+// SecondBuckets is a coarse layout for simulated per-rank times (virtual
+// seconds): 10 ms to ~1000 s.
+var SecondBuckets = ExpBuckets(0.01, math.Sqrt(10), 11)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and growing by factor. +Inf is implicit and must not be included.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram accumulates float64 observations into fixed buckets and
+// tracks count, sum, min and max. It is safe for concurrent use, and —
+// because bucket counts are commutative — its exported state does not
+// depend on the order in which concurrent observers ran.
+//
+// Quantiles are estimated by linear interpolation inside the bucket that
+// holds the target rank, clamped to the observed [min, max]; with a single
+// sample every quantile is that sample, and p ≤ 0 / p ≥ 1 return the exact
+// min / max.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// newHistogram builds a histogram with the given upper bounds (copied,
+// sorted ascending).
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]uint64, len(bs)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Bucket index: first bound >= v, or the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a consistent copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds, ascending; +Inf implicit
+	Counts []uint64  // len(Bounds)+1, per-bucket (not cumulative)
+	Count  uint64
+	Sum    float64
+	Min    float64 // +Inf when empty
+	Max    float64 // -Inf when empty
+}
+
+// Snapshot returns a consistent copy.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	copy(s.Counts, h.counts)
+	return s
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) of the observations.
+// ok is false when the histogram is empty. p ≤ 0 returns the exact
+// minimum, p ≥ 1 the exact maximum; interior quantiles interpolate within
+// the holding bucket and are clamped to [Min, Max].
+func (s HistSnapshot) Quantile(p float64) (float64, bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	if p <= 0 {
+		return s.Min, true
+	}
+	if p >= 1 {
+		return s.Max, true
+	}
+	// Nearest-rank target in [1, Count].
+	target := uint64(math.Ceil(p * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum < target {
+			continue
+		}
+		// Bucket i holds the target rank. Interpolate between the bucket's
+		// effective bounds, clamped to the observed range so degenerate
+		// buckets (single sample, +Inf bucket) stay exact.
+		lo := s.Min
+		if i > 0 {
+			lo = math.Max(lo, s.Bounds[i-1])
+		}
+		hi := s.Max
+		if i < len(s.Bounds) {
+			hi = math.Min(hi, s.Bounds[i])
+		}
+		if hi <= lo {
+			return lo, true
+		}
+		frac := float64(target-prev) / float64(c)
+		return lo + (hi-lo)*frac, true
+	}
+	return s.Max, true
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the opt-in debug endpoint for long-running sweeps on addr
+// (e.g. ":9090" or "127.0.0.1:0"). It serves
+//
+//	/metrics      Prometheus text exposition of reg
+//	/spans        the tracer's phase summary and span tree
+//	/debug/vars   expvar (Go runtime memstats, cmdline)
+//	/debug/pprof  the standard pprof profiles
+//
+// and returns the bound listener address (useful with port 0) plus a
+// shutdown func. The server runs on its own goroutine and serves until the
+// process exits or close is called; it never interferes with simulation
+// determinism — handlers only read telemetry state.
+func Serve(addr string, reg *Registry, tracer *Tracer) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tracer.WriteSummary(w)
+		fmt.Fprintln(w)
+		_ = tracer.WriteTree(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

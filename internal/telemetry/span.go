@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PhaseDurationMetric is the histogram family every finished span's
+// duration is recorded into, labeled by phase (the span name). Span names
+// must therefore stay low-cardinality — per-item detail goes into
+// Span.Annotate, which only affects the rendered tree, not metric labels.
+const PhaseDurationMetric = "varpower_phase_duration_seconds"
+
+// spanCap bounds how many finished spans a tracer retains for tree
+// rendering. Durations past the cap still reach the phase histogram; only
+// the per-span record is dropped (and counted).
+const spanCap = 16384
+
+// Span is one timed phase of the pipeline. Spans form a tree: children
+// created with (*Span).Start render nested under their parent.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // 0 = root
+	Name   string
+	Detail string
+	start  time.Time
+	dur    time.Duration
+	done   bool
+}
+
+// Tracer collects phase spans. All methods are safe for concurrent use.
+// The zero value is not usable; use NewTracer or the package-level
+// StartSpan, which uses the process-wide tracer publishing into the
+// default registry.
+type Tracer struct {
+	reg *Registry
+	now func() time.Time
+
+	mu      sync.Mutex
+	seq     int
+	spans   []*Span // finished and in-flight, creation order
+	dropped int
+}
+
+// NewTracer returns a tracer that records span durations into reg's
+// phase-duration histogram. now overrides the clock (nil = time.Now) —
+// tests inject a fake clock for golden output.
+func NewTracer(reg *Registry, now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{reg: reg, now: now}
+}
+
+// defaultTracer is the process-wide tracer.
+var defaultTracer = NewTracer(defaultRegistry, nil)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// StartSpan starts a root span on the process-wide tracer.
+func StartSpan(name string) *Span { return defaultTracer.Start(name) }
+
+// Start begins a root span.
+func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+
+func (t *Tracer) start(name string, parent int) *Span {
+	t.mu.Lock()
+	t.seq++
+	sp := &Span{tr: t, id: t.seq, parent: parent, Name: name, start: t.now()}
+	if len(t.spans) < spanCap {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return sp
+}
+
+// Start begins a child span.
+func (s *Span) Start(name string) *Span { return s.tr.start(name, s.id) }
+
+// Annotate attaches free-form detail shown in the rendered tree (not in
+// metric labels, so cardinality stays bounded).
+func (s *Span) Annotate(format string, args ...any) *Span {
+	s.Detail = fmt.Sprintf(format, args...)
+	return s
+}
+
+// End finishes the span, records its duration into the tracer's
+// phase-duration histogram, and is idempotent.
+func (s *Span) End() {
+	s.tr.mu.Lock()
+	if s.done {
+		s.tr.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.dur = s.tr.now().Sub(s.start)
+	reg := s.tr.reg
+	s.tr.mu.Unlock()
+	if reg != nil {
+		reg.Histogram(PhaseDurationMetric, "Wall-clock duration of pipeline phases.",
+			DefTimeBuckets, Labels{"phase": s.Name}).Observe(s.dur.Seconds())
+	}
+}
+
+// Duration returns the span's duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.dur
+}
+
+// Reset drops all recorded spans. Intended for tests.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans, t.seq, t.dropped = nil, 0, 0
+	t.mu.Unlock()
+}
+
+// PhaseStat is an aggregate over all spans sharing a name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summary aggregates finished spans by name, ordered by first appearance.
+func (t *Tracer) Summary() []PhaseStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := make(map[string]int)
+	var out []PhaseStat
+	for _, sp := range t.spans {
+		if !sp.done {
+			continue
+		}
+		i, ok := idx[sp.Name]
+		if !ok {
+			i = len(out)
+			idx[sp.Name] = i
+			out = append(out, PhaseStat{Name: sp.Name})
+		}
+		out[i].Count++
+		out[i].Total += sp.dur
+		if sp.dur > out[i].Max {
+			out[i].Max = sp.dur
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the per-phase aggregate as an aligned text table.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	stats := t.Summary()
+	if len(stats) == 0 {
+		_, err := fmt.Fprintln(w, "telemetry: no finished spans")
+		return err
+	}
+	width := len("phase")
+	for _, s := range stats {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %7s  %12s  %12s  %12s\n", width, "phase", "count", "total", "mean", "max"); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		mean := s.Total / time.Duration(s.Count)
+		if _, err := fmt.Fprintf(w, "%-*s  %7d  %12v  %12v  %12v\n",
+			width, s.Name, s.Count, s.Total.Round(time.Microsecond),
+			mean.Round(time.Microsecond), s.Max.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTree renders the span hierarchy, children indented under parents in
+// start order. Unfinished spans render with "…" in place of a duration.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	children := make(map[int][]*Span)
+	for _, sp := range spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].id < cs[j].id })
+	}
+	var render func(parent, depth int) error
+	render = func(parent, depth int) error {
+		for _, sp := range children[parent] {
+			dur := "…"
+			if sp.done {
+				dur = sp.dur.Round(time.Microsecond).String()
+			}
+			detail := ""
+			if sp.Detail != "" {
+				detail = "  [" + sp.Detail + "]"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s  %s%s\n", strings.Repeat("  ", depth), sp.Name, dur, detail); err != nil {
+				return err
+			}
+			if err := render(sp.id, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := render(0, 0); err != nil {
+		return err
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(… %d spans past the %d-span cap not shown)\n", dropped, spanCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing instants, one step per call.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestSpanHierarchyAndDurations(t *testing.T) {
+	reg := NewRegistry()
+	clock := &fakeClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	tr := NewTracer(reg, clock.now)
+
+	root := tr.Start("pipeline").Annotate("bench=%s", "mhd")
+	child := root.Start("solve")
+	grand := child.Start("inner")
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	// Clock steps: start×3 then end×3, 1 ms apart → inner 1 ms,
+	// solve 3 ms, pipeline 5 ms.
+	if d := grand.Duration(); d != time.Millisecond {
+		t.Fatalf("inner duration = %v, want 1ms", d)
+	}
+	if d := root.Duration(); d != 5*time.Millisecond {
+		t.Fatalf("pipeline duration = %v, want 5ms", d)
+	}
+
+	var tree bytes.Buffer
+	if err := tr.WriteTree(&tree); err != nil {
+		t.Fatal(err)
+	}
+	want := "pipeline  5ms  [bench=mhd]\n  solve  3ms\n    inner  1ms\n"
+	if tree.String() != want {
+		t.Fatalf("tree mismatch:\n--- got ---\n%s--- want ---\n%s", tree.String(), want)
+	}
+
+	// Every finished span fed the phase-duration histogram.
+	for _, phase := range []string{"pipeline", "solve", "inner"} {
+		h := reg.Histogram(PhaseDurationMetric, "", DefTimeBuckets, Labels{"phase": phase})
+		if s := h.Snapshot(); s.Count != 1 {
+			t.Fatalf("phase %q histogram count = %d, want 1", phase, s.Count)
+		}
+	}
+}
+
+func TestSpanSummaryAggregates(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTracer(NewRegistry(), clock.now)
+	for i := 0; i < 3; i++ {
+		tr.Start("cell").End() // each takes one 1 ms step
+	}
+	stats := tr.Summary()
+	if len(stats) != 1 || stats[0].Name != "cell" || stats[0].Count != 3 {
+		t.Fatalf("summary = %+v", stats)
+	}
+	if stats[0].Total != 3*time.Millisecond || stats[0].Max != time.Millisecond {
+		t.Fatalf("summary durations = %+v", stats[0])
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cell") || !strings.Contains(buf.String(), "3") {
+		t.Fatalf("summary text: %s", buf.String())
+	}
+	tr.Reset()
+	if len(tr.Summary()) != 0 {
+		t.Fatal("Reset left spans behind")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(NewRegistry(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("worker")
+				sp.Start("sub").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	stats := tr.Summary()
+	total := 0
+	for _, s := range stats {
+		total += s.Count
+	}
+	if total != 1600 {
+		t.Fatalf("finished spans = %d, want 1600", total)
+	}
+}
+
+func TestDefaultTracerRecordsPhaseDurations(t *testing.T) {
+	before := seriesCount(Default(), PhaseDurationMetric, Labels{"phase": "test.phase"})
+	StartSpan("test.phase").End()
+	after := seriesCount(Default(), PhaseDurationMetric, Labels{"phase": "test.phase"})
+	if after != before+1 {
+		t.Fatalf("default tracer did not record: before=%d after=%d", before, after)
+	}
+}
+
+func seriesCount(r *Registry, name string, labels Labels) uint64 {
+	return r.Histogram(name, "", DefTimeBuckets, labels).Snapshot().Count
+}

@@ -3,6 +3,13 @@
 // form a measurement campaign would actually store it (per-module CSV
 // traces sampled by one of the Table-1 back-ends).
 //
+// This package records *simulated power data* — an experiment artifact. It
+// is unrelated to internal/telemetry, which instruments the simulator
+// itself (metric counters and phase spans about the pipeline's own
+// execution, exported via -metrics/-http). Rule of thumb: trace output
+// belongs in a figure; telemetry output belongs in a dashboard. See
+// DESIGN.md §Observability for the full distinction.
+//
 // The simulation is steady-state per run, so a module's true trace is
 // piecewise constant: full draw while its rank computes, reduced draw
 // while it busy-polls in MPI waits at the end of the region. A sensor spec
