@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: varpower
+BenchmarkTable1-8   	     100	     12345 ns/op	    2048 B/op	      32 allocs/op
+BenchmarkFigure7-8  	       1	1234567890 ns/op	         1.230 speedup-avg	 999 B/op	  77 allocs/op
+BenchmarkNoMem      	      10	       500 ns/op
+PASS
+ok  	varpower	1.234s
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Bench{
+		{Name: "BenchmarkTable1", NsOp: 12345, AllocsOp: 32},
+		{Name: "BenchmarkFigure7", NsOp: 1234567890, AllocsOp: 77},
+		{Name: "BenchmarkNoMem", NsOp: 500, AllocsOp: -1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseRejectsGarbageValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4  1  oops ns/op\n")); err == nil {
+		t.Fatal("want error for non-numeric value")
+	}
+}

@@ -7,8 +7,16 @@
 //
 //	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
 //	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
-//	          [-workers W] [-metrics FILE] [-telemetry] [-http ADDR]
+//	          [-workers W] [-record FILE] [-record-hz HZ]
+//	          [-metrics FILE] [-telemetry] [-http ADDR]
 //	          [-quiet] [-v]
+//
+// -record additionally *executes* the solved allocation with the flight
+// recorder attached — the prologue normally stops at the allocation — and
+// writes the run's timeline at exit (Perfetto trace JSON by default,
+// CSV/HTML by extension); the allocation output itself is unchanged. The
+// overprovisioning sweep fans its points out across system replicas and
+// stays unrecorded.
 //
 // -workers bounds the per-module fan-out of PVT generation and oracle
 // measurement (0 = GOMAXPROCS, 1 = serial); allocations are byte-identical
@@ -59,7 +67,7 @@ func main() {
 	if *sweep != "" {
 		err = runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers)
 	} else {
-		err = run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers)
+		err = run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers, obs)
 	}
 	if cerr := obs.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -135,7 +143,7 @@ func parseScheme(s string) (core.Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q", s)
 }
 
-func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show, workers int) error {
+func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show, workers int, obs *cliutil.Obs) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -196,5 +204,21 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 			report.Cellf(float64(e.Pcpu), 2),
 			report.Cellf(float64(e.Pdram), 2))
 	}
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// With -record, also execute the solved allocation so the flight
+	// recorder has a run to capture; the allocation output above is the
+	// same either way.
+	if rec := obs.Recorder(); rec != nil {
+		fw.Recorder = rec
+		res, err := fw.Execute(bench, ids, alloc, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrecorded run : %.1f s elapsed, avg power %v\n",
+			float64(res.Elapsed), res.AvgTotalPower)
+	}
+	return nil
 }

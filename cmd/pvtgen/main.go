@@ -10,7 +10,10 @@
 // 1 = serial); the generated table is byte-identical for every width.
 // The observability flags are shared across commands (internal/cliutil);
 // -v streams per-module progress of the install-time sweep, the longest
-// single phase in the repository at full machine scale.
+// single phase in the repository at full machine scale. -record/-record-hz
+// are accepted for flag uniformity, but the install-time sweep has no
+// application runs for the flight recorder to capture — the recorder
+// reports an empty timeline and writes nothing.
 package main
 
 import (

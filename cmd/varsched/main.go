@@ -7,7 +7,13 @@
 //	varsched -jobs batch.json [-modules N] [-power 12.5kW]
 //	         [-policy equal|global-alpha] [-alloc first-fit|efficient]
 //	         [-scheme vafs|vapc|naive|...] [-seed S]
+//	         [-record FILE] [-record-hz HZ]
 //	         [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//
+// -record attaches the flight recorder to every job's final application run
+// and writes the batch timeline at exit (Perfetto trace JSON by default,
+// CSV/HTML by extension). Recording runs the jobs serially so the trace is
+// deterministic; the rendered batch table is byte-identical either way.
 //
 // Batch file format:
 //
@@ -60,7 +66,7 @@ func main() {
 	if err := obs.Start("varsched"); err != nil {
 		fail(err)
 	}
-	err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers)
+	err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers, obs)
 	if cerr := obs.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -69,7 +75,7 @@ func main() {
 	}
 }
 
-func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64, workers int) error {
+func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64, workers int, obs *cliutil.Obs) error {
 	if jobsFile == "" {
 		return fmt.Errorf("-jobs is required")
 	}
@@ -138,6 +144,9 @@ func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeNa
 	if err != nil {
 		return err
 	}
+	// With -record, every job's final run lands in the flight recorder (the
+	// scheduler serialises the batch to keep the trace deterministic).
+	fw.Recorder = obs.Recorder()
 	res, err := sched.New(fw).Run(jobs, cfg)
 	if err != nil {
 		return err

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9]
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline]
 //	       [-modules N] [-seed S] [-workers W]
+//	       [-record FILE] [-record-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
 // -modules scales the HA8K experiments (default 1920, the paper's size);
@@ -19,6 +20,15 @@
 // and /debug/pprof for the duration of a long sweep, -v streams live
 // completed/total progress for grid and Table-4 cells, -quiet silences
 // informational stderr output.
+//
+// -record attaches the flight recorder to the serially executed runs (the
+// Figure 2/3 sweeps and vt-timeline) and writes the captured timeline at
+// exit — Chrome trace-event JSON for Perfetto by default, CSV or HTML by
+// extension — plus an analyzer report (<path>.report.txt). The
+// "vt-timeline" experiment replays the Figure-2 *DGEMM cap sweep with the
+// recorder attached and prints the analyzer's windowed Vp/Vf/Vt and
+// straggler ranking; it is excluded from "all" because it repeats fig2's
+// runs. Recording never changes a rendered table.
 package main
 
 import (
@@ -34,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9)")
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline)")
 		modules = flag.Int("modules", 1920, "HA8K module count")
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
@@ -51,7 +61,7 @@ func main() {
 		fail(err)
 	}
 	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress()}
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder()}
 	var err error
 	if *dump != "" {
 		err = dumpAll(*dump, o)
@@ -143,6 +153,19 @@ func run(exp string, o experiments.Options) error {
 			if err := plotFigure2ii(w, sweep); err != nil {
 				return err
 			}
+		}
+	}
+	// vt-timeline repeats fig2's *DGEMM runs with the flight recorder
+	// attached, so it only runs when asked for explicitly.
+	if exp == "vt-timeline" {
+		ran = true
+		report.Section(w, "Vt timeline")
+		vt, err := experiments.VtTimeline(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderVtTimeline(w, vt); err != nil {
+			return err
 		}
 	}
 	if want("fig3") {

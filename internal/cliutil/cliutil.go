@@ -20,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
+	"varpower/internal/flight"
 	"varpower/internal/telemetry"
 )
 
@@ -33,8 +36,11 @@ type Obs struct {
 	spans       bool
 	quiet       bool
 	verbose     bool
+	recordPath  string
+	recordHz    float64
 
 	cmd       string
+	recorder  *flight.Recorder
 	stopHTTP  func() error
 	progMu    sync.Mutex
 	progLast  time.Time
@@ -51,13 +57,19 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 	fs.BoolVar(&o.spans, "telemetry", false, "print the phase-span timing summary to stderr at exit")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress and informational stderr output")
 	fs.BoolVar(&o.verbose, "v", false, "verbose stderr output (live progress lines; full span tree with -telemetry)")
+	fs.StringVar(&o.recordPath, "record", "", "write a flight-recorder timeline of the serially executed runs to this file at exit (.trace/.json = Chrome trace-event JSON for Perfetto, .csv = samples CSV plus a .phases.csv companion, .html = self-contained timeline page); the analyzer report accompanies it as <path>.report.txt")
+	fs.Float64Var(&o.recordHz, "record-hz", flight.DefaultHz, "flight-recorder sampling rate in samples per simulated second (negative disables samples, keeping phases and events)")
 	return o
 }
 
-// Start begins the run: cmd names the command for log prefixes; the debug
-// HTTP server is started when -http was given.
+// Start begins the run: cmd names the command for log prefixes; the flight
+// recorder is created when -record was given, and the debug HTTP server is
+// started when -http was given.
 func (o *Obs) Start(cmd string) error {
 	o.cmd = cmd
+	if o.recordPath != "" {
+		o.recorder = flight.New(flight.Config{Hz: o.recordHz})
+	}
 	if o.httpAddr != "" {
 		addr, stop, err := telemetry.Serve(o.httpAddr, telemetry.Default(), telemetry.DefaultTracer())
 		if err != nil {
@@ -85,6 +97,11 @@ func (o *Obs) Close() error {
 			_ = tr.WriteTree(os.Stderr)
 		}
 	}
+	if o.recorder != nil {
+		if err := o.writeRecord(); err != nil {
+			return err
+		}
+	}
 	if o.metricsPath == "" {
 		return nil
 	}
@@ -97,6 +114,57 @@ func (o *Obs) Close() error {
 		return fmt.Errorf("%s: write metrics: %w", o.cmd, err)
 	}
 	o.Infof("wrote metrics to %s", o.metricsPath)
+	return nil
+}
+
+// Recorder returns the -record flight recorder, or nil when recording is
+// off. Commands hand it to the experiment engines' serially executed runs.
+func (o *Obs) Recorder() *flight.Recorder { return o.recorder }
+
+// writeRecord snapshots the recorder, writes the timeline in the format
+// the -record extension selects, runs the analyzer, publishes its gauges
+// (before the -metrics dump, so they appear there) and writes its text
+// report next to the timeline.
+func (o *Obs) writeRecord() error {
+	tl := o.recorder.Snapshot()
+	if tl.Empty() {
+		o.Infof("flight recorder captured no records (no recorded runs executed)")
+	}
+	write := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("%s: write flight record: %w", o.cmd, err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: write flight record: %w", o.cmd, err)
+		}
+		return f.Close()
+	}
+	var err error
+	switch strings.ToLower(filepath.Ext(o.recordPath)) {
+	case ".csv":
+		err = write(o.recordPath, func(f *os.File) error { return flight.WriteCSV(f, tl) })
+		if err == nil {
+			companion := strings.TrimSuffix(o.recordPath, filepath.Ext(o.recordPath)) + ".phases.csv"
+			err = write(companion, func(f *os.File) error { return flight.WritePhasesCSV(f, tl) })
+		}
+	case ".html", ".htm":
+		err = write(o.recordPath, func(f *os.File) error { return flight.WriteHTML(f, tl) })
+	default: // .trace, .json, anything else: Chrome trace-event JSON
+		err = write(o.recordPath, func(f *os.File) error { return flight.WriteTrace(f, tl) })
+	}
+	if err != nil {
+		return err
+	}
+	analysis := flight.Analyze(tl, 0)
+	analysis.Publish()
+	if err := write(o.recordPath+".report.txt", func(f *os.File) error {
+		return analysis.WriteReport(f, 10)
+	}); err != nil {
+		return err
+	}
+	o.Infof("wrote flight record to %s (+ %s.report.txt)", o.recordPath, o.recordPath)
 	return nil
 }
 

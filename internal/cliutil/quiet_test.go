@@ -1,0 +1,82 @@
+package cliutil_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestQuietSuppressesStderr runs every command with -quiet combined with
+// every chatty observability flag (-v, -telemetry, -metrics, -record) and
+// asserts that nothing reaches stderr: -quiet must suppress progress and
+// informational output uniformly across the four commands. Error output is
+// exempt — these invocations are all expected to succeed.
+func TestQuietSuppressesStderr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the four commands")
+	}
+	root := repoRoot(t)
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+
+	jobs := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(jobs, []byte(`[{"name":"a","bench":"dgemm","modules":8}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"pvtgen", []string{"-modules", "8"}},
+		{"varsim", []string{"-experiment", "table1"}},
+		{"powbudget", []string{"-modules", "16", "-budget", "2kW"}},
+		{"varsched", []string{"-jobs", jobs, "-modules", "16"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.cmd, func(t *testing.T) {
+			out := t.TempDir()
+			args := append(tc.args,
+				"-quiet", "-v", "-telemetry",
+				"-metrics", filepath.Join(out, "m.prom"),
+				"-record", filepath.Join(out, "r.trace"),
+			)
+			cmd := exec.Command(filepath.Join(bin, tc.cmd), args...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("%s %v: %v\nstderr:\n%s", tc.cmd, args, err, stderr.String())
+			}
+			if stderr.Len() != 0 {
+				t.Errorf("%s wrote to stderr under -quiet:\n%s", tc.cmd, stderr.String())
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"varpower/internal/cluster"
+	"varpower/internal/flight"
 	"varpower/internal/measure"
 	"varpower/internal/telemetry"
 	"varpower/internal/units"
@@ -22,6 +23,14 @@ type Framework struct {
 	// selects GOMAXPROCS, 1 recovers the fully serial pipeline. Results
 	// are byte-identical for every worker count.
 	Workers int
+
+	// Recorder, when non-nil, attaches the framework's *final* application
+	// runs (Execute) to the flight recorder; PMT test runs and oracle
+	// measurements stay unrecorded. Clone deliberately does not copy it:
+	// sweep engines that fan cells out across replicas would otherwise
+	// commit runs in scheduling order and break trace determinism. Attach a
+	// recorder only to serially executed frameworks.
+	Recorder *flight.Recorder
 }
 
 // NewFramework instantiates the framework, generating the system's PVT with
@@ -269,7 +278,11 @@ func (fw *Framework) Execute(bench *workload.Benchmark, moduleIDs []int, alloc *
 	if len(alloc.Entries) != len(moduleIDs) {
 		return measure.Result{}, fmt.Errorf("core: allocation covers %d modules, job has %d", len(alloc.Entries), len(moduleIDs))
 	}
-	cfg := measure.Config{Bench: bench, Modules: moduleIDs, Workers: fw.Workers}
+	cfg := measure.Config{
+		Bench: bench, Modules: moduleIDs, Workers: fw.Workers,
+		Recorder:    fw.Recorder,
+		RecordLabel: fmt.Sprintf("%s/%v", bench.Name, scheme),
+	}
 	if scheme.UsesFS() {
 		f := fw.Sys.Spec.Arch.QuantizeDown(alloc.Freq)
 		cfg.Mode = measure.ModePinned

@@ -23,6 +23,7 @@ import (
 	"context"
 
 	"varpower/internal/cluster"
+	"varpower/internal/flight"
 	"varpower/internal/parallel"
 	"varpower/internal/units"
 )
@@ -56,6 +57,15 @@ type Options struct {
 	// goroutines; implementations must be concurrency-safe. Progress is
 	// presentation-only and cannot perturb any generated artifact.
 	Progress func(stage string, done, total int)
+
+	// Recorder, when non-nil, attaches the flight recorder to the
+	// *serially executed* application runs (the Figure 2/3 sweeps and the
+	// vt-timeline experiment). Generators that fan whole cells out in
+	// parallel (the evaluation grid, Table 4, Figure 7) deliberately stay
+	// unrecorded — their commit order would depend on scheduling and break
+	// trace determinism. Recording is write-only: rendered artifacts are
+	// byte-identical with and without it.
+	Recorder *flight.Recorder
 }
 
 // progressCtx returns a context carrying this Options' progress callback

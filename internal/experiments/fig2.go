@@ -6,6 +6,7 @@ import (
 
 	"varpower/internal/cluster"
 	"varpower/internal/core"
+	"varpower/internal/flight"
 	"varpower/internal/measure"
 	"varpower/internal/report"
 	"varpower/internal/stats"
@@ -60,7 +61,10 @@ func Figure2i(o Options) ([]Fig2iResult, error) {
 	}
 	var out []Fig2iResult
 	for _, b := range []*workload.Benchmark{workload.DGEMM(), workload.MHD()} {
-		res, err := measure.Run(sys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers})
+		res, err := measure.Run(sys, measure.Config{
+			Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers,
+			Recorder: o.Recorder, RecordLabel: b.Name + "/uncapped",
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 2(i) %s: %w", b.Name, err)
 		}
@@ -148,7 +152,7 @@ func Figure2Sweep(o Options) ([]Fig2SweepResult, error) {
 	}
 	var out []Fig2SweepResult
 	for _, c := range cases {
-		sweep, err := capSweep(sys, ids, c.bench, c.caps, o.Workers)
+		sweep, err := capSweep(sys, ids, c.bench, c.caps, o.Workers, o.Recorder)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 2 sweep %s: %w", c.bench.Name, err)
 		}
@@ -158,7 +162,9 @@ func Figure2Sweep(o Options) ([]Fig2SweepResult, error) {
 }
 
 // capSweep runs one benchmark at each uniform Cm level and summarises.
-func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []units.Watts, workers int) (Fig2SweepResult, error) {
+// The runs execute serially, so an attached recorder produces one timeline
+// segment per level in sweep order.
+func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []units.Watts, workers int, rec *flight.Recorder) (Fig2SweepResult, error) {
 	// Offline analysis: the application's average power model, used to
 	// split Cm between CPU cap and predicted DRAM.
 	pmt, err := core.OraclePMTWorkers(sys, bench, ids, workers)
@@ -167,7 +173,10 @@ func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []u
 	}
 	avg := pmt.Averages()
 
-	base, err := measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: workers})
+	base, err := measure.Run(sys, measure.Config{
+		Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: workers,
+		Recorder: rec, RecordLabel: bench.Name + "/uncapped",
+	})
 	if err != nil {
 		return Fig2SweepResult{}, err
 	}
@@ -184,7 +193,10 @@ func capSweep(sys *cluster.System, ids []int, bench *workload.Benchmark, cms []u
 			for i := range caps {
 				caps[i] = ccpu
 			}
-			res, err = measure.Run(sys, measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeCapped, CPUCaps: caps, Workers: workers})
+			res, err = measure.Run(sys, measure.Config{
+				Bench: bench, Modules: ids, Mode: measure.ModeCapped, CPUCaps: caps, Workers: workers,
+				Recorder: rec, RecordLabel: fmt.Sprintf("%s/Cm=%.0fW", bench.Name, float64(cm)),
+			})
 			if err != nil {
 				return Fig2SweepResult{}, fmt.Errorf("Cm=%v: %w", cm, err)
 			}

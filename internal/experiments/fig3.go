@@ -70,9 +70,14 @@ func Figure3(o Options) (Fig3Result, error) {
 
 	out := Fig3Result{Modules: n}
 	for _, cm := range fig3Caps {
-		cfg := measure.Config{Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers}
+		cfg := measure.Config{
+			Bench: bench, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers,
+			Recorder: o.Recorder, RecordLabel: fmt.Sprintf("fig3/%s/Cm=%.0fW", bench.Name, float64(cm)),
+		}
 		var ccpu units.Watts
-		if cm != 0 {
+		if cm == 0 {
+			cfg.RecordLabel = "fig3/" + bench.Name + "/uncapped"
+		} else {
 			ccpu = UniformCap(avg, cm)
 			caps := make([]units.Watts, n)
 			for i := range caps {

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"varpower/internal/flight"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// VtTimelineCaps are the uniform per-module levels the vt-timeline
+// experiment sweeps (the Figure-2 *DGEMM panel: uncapped, then tightening
+// caps), chosen so the recorded timeline tells the paper's Vt story —
+// frequency spread grows segment by segment as the cap tightens.
+var VtTimelineCaps = []units.Watts{0, 90, 80, 70, 60}
+
+// VtTimelineResult is the vt-timeline experiment's output: the Figure-2
+// style sweep summary, the flight timeline the sweep recorded, and the
+// analyzer's view of it (per-segment Vp/Vf/Vt, windowed variation,
+// straggler ranking).
+type VtTimelineResult struct {
+	Sweep    Fig2SweepResult
+	Timeline flight.Timeline
+	Analysis flight.Analysis
+}
+
+// VtTimeline reproduces the paper's Vt narrative as a timeline artifact:
+// it runs *DGEMM on the HA8K modules uncapped and under tightening uniform
+// caps with the flight recorder attached, then analyzes the recording. The
+// runs execute serially (one timeline segment per cap level, in sweep
+// order), so the recorded trace is deterministic for a given seed and
+// configuration at any Workers width.
+//
+// When Options.Recorder is nil a private recorder is used, so the analysis
+// is always produced; attach a recorder (the -record flag does) to also
+// get the trace on disk. The sweep's table values are byte-identical to
+// Figure2Sweep's *DGEMM panel — recording cannot perturb them.
+func VtTimeline(o Options) (VtTimelineResult, error) {
+	o = o.withDefaults()
+	rec := o.Recorder
+	if rec == nil {
+		rec = flight.New(flight.Config{})
+	}
+	sys, ids, err := o.haSystem()
+	if err != nil {
+		return VtTimelineResult{}, err
+	}
+	bench := workload.DGEMM()
+	sweep, err := capSweep(sys, ids, bench, VtTimelineCaps, o.Workers, rec)
+	if err != nil {
+		return VtTimelineResult{}, fmt.Errorf("experiments: vt-timeline: %w", err)
+	}
+	tl := rec.Snapshot()
+	analysis := flight.Analyze(tl, 0)
+	analysis.Publish()
+	return VtTimelineResult{Sweep: sweep, Timeline: tl, Analysis: analysis}, nil
+}
+
+// RenderVtTimeline writes the vt-timeline summary: the sweep table
+// followed by the flight analyzer's report. The analyzer's per-segment Vf
+// and Vt come from the recorded timeline alone — comparing them against
+// the sweep's table is the experiment's self-check that the recorder saw
+// what the measurement pipeline measured.
+func RenderVtTimeline(w io.Writer, r VtTimelineResult) error {
+	if err := RenderFigure2Sweep(w, []Fig2SweepResult{r.Sweep}); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return r.Analysis.WriteReport(w, 10)
+}

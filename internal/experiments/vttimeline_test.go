@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"varpower/internal/flight"
+)
+
+// vtOpts keeps the vt-timeline sweep fast: few modules, coarse sampling.
+func vtOpts(workers int) Options {
+	o := smallOpts()
+	o.HA8KModules = 24
+	o.Workers = workers
+	o.Recorder = flight.New(flight.Config{Hz: 5})
+	return o
+}
+
+// TestVtTimelineDeterministicAcrossWorkers is the recorder's determinism
+// contract end to end: the same seed and configuration must produce a
+// byte-identical Chrome trace at -workers 1, 2 and GOMAXPROCS, even though
+// per-rank operating-point resolution (and hence the control-event hooks)
+// fans out across that many goroutines.
+func TestVtTimelineDeterministicAcrossWorkers(t *testing.T) {
+	trace := func(workers int) []byte {
+		t.Helper()
+		o := vtOpts(workers)
+		r, err := VtTimeline(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteTrace(&buf, r.Timeline); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := trace(1)
+	if len(base) == 0 {
+		t.Fatal("serial trace is empty")
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		if got := trace(w); !bytes.Equal(got, base) {
+			t.Fatalf("trace at workers=%d differs from serial trace (%d vs %d bytes)", w, len(got), len(base))
+		}
+	}
+}
+
+// TestVtTimelineAnalysisMatchesSweep cross-checks the two independent
+// derivations of Vf: the sweep table computes it from the measurement
+// results, the analyzer from the recorded samples alone. They must agree
+// per segment (segment i is cap level i, recorded in sweep order).
+func TestVtTimelineAnalysisMatchesSweep(t *testing.T) {
+	r, err := VtTimeline(vtOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Analysis.Segments) != len(r.Sweep.Clusters) {
+		t.Fatalf("%d segments vs %d cap levels", len(r.Analysis.Segments), len(r.Sweep.Clusters))
+	}
+	for i, seg := range r.Analysis.Segments {
+		cl := r.Sweep.Clusters[i]
+		if diff := seg.Vf - cl.Vf; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("segment %d (%s): analyzer Vf %.6f, sweep Vf %.6f", i, seg.Label, seg.Vf, cl.Vf)
+		}
+	}
+	// The paper's mechanism: Vf and Vt/base must grow monotonically as the
+	// cap tightens (segment 0 is the uncapped baseline).
+	for i := 2; i < len(r.Analysis.Segments); i++ {
+		prev, cur := r.Analysis.Segments[i-1], r.Analysis.Segments[i]
+		if cur.Vf < prev.Vf {
+			t.Errorf("Vf shrank when the cap tightened: %.3f (%s) -> %.3f (%s)", prev.Vf, prev.Label, cur.Vf, cur.Label)
+		}
+		if cur.VtNorm < prev.VtNorm {
+			t.Errorf("Vt/base shrank when the cap tightened: %.3f (%s) -> %.3f (%s)", prev.VtNorm, prev.Label, cur.VtNorm, cur.Label)
+		}
+	}
+}
+
+// TestRecordingDoesNotPerturbArtifacts renders the Figure-2 sweep with and
+// without a recorder attached and requires byte-identical tables —
+// recording must be strictly write-only with respect to simulation state.
+func TestRecordingDoesNotPerturbArtifacts(t *testing.T) {
+	render := func(rec *flight.Recorder) []byte {
+		t.Helper()
+		o := smallOpts()
+		o.HA8KModules = 24
+		o.Recorder = rec
+		sweep, err := Figure2Sweep(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := RenderFigure2Sweep(&buf, sweep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := render(nil)
+	recorded := render(flight.New(flight.Config{Hz: 5}))
+	if !bytes.Equal(plain, recorded) {
+		t.Fatalf("recording changed the rendered table:\n--- without ---\n%s\n--- with ---\n%s", plain, recorded)
+	}
+}

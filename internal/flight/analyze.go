@@ -1,0 +1,313 @@
+// Online analyzer for flight timelines: turns the raw record into the
+// paper's variation metrics — per-segment and windowed Vp/Vf (max/min
+// spread of per-module power and delivered frequency) and Vt (spread of
+// per-rank completion time) — plus a straggler ranking: which modules
+// gated communication rounds and what share of the total stall they
+// imposed. Results publish to the telemetry registry and render as a text
+// report, so a capped run's Vp→Vf→Vt chain is visible without loading the
+// trace into a viewer.
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"varpower/internal/stats"
+	"varpower/internal/telemetry"
+	"varpower/internal/units"
+)
+
+// SegmentStats is one run's variation summary.
+type SegmentStats struct {
+	Label      string
+	Start, End units.Seconds
+	Ranks      int
+
+	// Vp is the max/min spread of per-module mean power (CPU+DRAM) over
+	// the segment's samples; Vf the spread of mean delivered frequency.
+	Vp, Vf float64
+	// Vt is the spread of per-rank completion times within the segment
+	// (a rank completes when it enters the finalize barrier).
+	Vt float64
+	// VtNorm is Vt with each rank's completion time normalized by the
+	// same rank's time in the timeline's first segment — the paper's Vt
+	// when the first segment is the uncapped baseline run. 1 when this is
+	// the first segment or rank counts differ.
+	VtNorm float64
+	// WaitFrac is the fraction of total rank-seconds spent in any wait
+	// phase (p2p, collective, finalize).
+	WaitFrac float64
+}
+
+// WindowStats is the sample-derived variation inside one analysis window.
+type WindowStats struct {
+	Start, End units.Seconds
+	Samples    int
+	Vp, Vf     float64
+}
+
+// StragglerStats aggregates the communication rounds one module gated.
+type StragglerStats struct {
+	Module int
+	// Rounds is how many rounds this module's rank arrived last in.
+	Rounds int
+	// Stall is the summed critical-path cost (latest-earliest) of those
+	// rounds; Share is Stall over the total stall of all rounds.
+	Stall units.Seconds
+	Share float64
+}
+
+// Analysis is the analyzer's output.
+type Analysis struct {
+	Window     units.Seconds
+	Segments   []SegmentStats
+	Windows    []WindowStats
+	Stragglers []StragglerStats
+	// TotalStall is the summed stall of every recorded round.
+	TotalStall units.Seconds
+}
+
+// rankEnds returns each rank's completion time relative to the segment
+// start: the moment it entered the finalize barrier, or the segment end
+// for the straggler itself.
+func rankEnds(run RunView) map[int]float64 {
+	ends := map[int]float64{}
+	for _, iv := range run.Intervals {
+		if _, seen := ends[iv.Rank]; !seen {
+			ends[iv.Rank] = float64(run.End - run.Start)
+		}
+		if iv.Phase == PhaseFinalizeWait {
+			ends[iv.Rank] = float64(iv.Start - run.Start)
+		}
+	}
+	return ends
+}
+
+// Analyze computes the timeline's variation metrics. window sizes the
+// sliding Vp/Vf windows (0 selects a tenth of the timeline, at least one
+// sample period).
+func Analyze(tl Timeline, window units.Seconds) Analysis {
+	a := Analysis{Window: window}
+
+	var baseEnds map[int]float64
+	for i, run := range tl.Runs {
+		seg := SegmentStats{Label: run.Label, Start: run.Start, End: run.End, VtNorm: 1}
+
+		// Vp/Vf from per-module sample means.
+		sums := map[int]*[3]float64{} // module -> {power sum, freq sum, n}
+		var modOrder []int
+		for _, s := range run.Samples {
+			acc, ok := sums[s.Module]
+			if !ok {
+				acc = &[3]float64{}
+				sums[s.Module] = acc
+				modOrder = append(modOrder, s.Module)
+			}
+			acc[0] += float64(s.ModulePower())
+			acc[1] += s.Freq.GHz()
+			acc[2]++
+		}
+		sort.Ints(modOrder)
+		var pw, fr []float64
+		for _, m := range modOrder {
+			acc := sums[m]
+			pw = append(pw, acc[0]/acc[2])
+			fr = append(fr, acc[1]/acc[2])
+		}
+		seg.Vp = variation(pw)
+		seg.Vf = variation(fr)
+
+		// Vt from per-rank completion times.
+		ends := rankEnds(run)
+		seg.Ranks = len(ends)
+		rankOrder := make([]int, 0, len(ends))
+		for r := range ends {
+			rankOrder = append(rankOrder, r)
+		}
+		sort.Ints(rankOrder)
+		var ts []float64
+		for _, r := range rankOrder {
+			ts = append(ts, ends[r])
+		}
+		seg.Vt = variation(ts)
+		if i == 0 {
+			baseEnds = ends
+		} else if len(baseEnds) == len(ends) {
+			var norm []float64
+			ok := true
+			for _, r := range rankOrder {
+				base, has := baseEnds[r]
+				if !has || base <= 0 {
+					ok = false
+					break
+				}
+				norm = append(norm, ends[r]/base)
+			}
+			if ok {
+				seg.VtNorm = variation(norm)
+			}
+		}
+
+		// Wait fraction over all rank-seconds.
+		var waitS, totalS float64
+		for _, iv := range run.Intervals {
+			d := float64(iv.End - iv.Start)
+			switch iv.Phase {
+			case PhaseP2PWait, PhaseCollectiveWait, PhaseFinalizeWait:
+				waitS += d
+				totalS += d
+			case PhaseCompute, PhaseXfer:
+				totalS += d
+			}
+		}
+		if totalS > 0 {
+			seg.WaitFrac = waitS / totalS
+		}
+		a.Segments = append(a.Segments, seg)
+	}
+
+	a.Windows = analyzeWindows(tl, window)
+
+	// Straggler ranking over all recorded rounds.
+	stall := map[int]*StragglerStats{}
+	var order []int
+	for _, run := range tl.Runs {
+		for _, rd := range run.Rounds {
+			st, ok := stall[rd.Module]
+			if !ok {
+				st = &StragglerStats{Module: rd.Module}
+				stall[rd.Module] = st
+				order = append(order, rd.Module)
+			}
+			st.Rounds++
+			st.Stall += rd.Stall()
+			a.TotalStall += rd.Stall()
+		}
+	}
+	sort.Ints(order)
+	for _, m := range order {
+		st := stall[m]
+		if a.TotalStall > 0 {
+			st.Share = float64(st.Stall) / float64(a.TotalStall)
+		}
+		a.Stragglers = append(a.Stragglers, *st)
+	}
+	sort.SliceStable(a.Stragglers, func(i, j int) bool {
+		return a.Stragglers[i].Stall > a.Stragglers[j].Stall
+	})
+	return a
+}
+
+// analyzeWindows slides fixed windows over the whole timeline and computes
+// sample-derived Vp/Vf inside each.
+func analyzeWindows(tl Timeline, window units.Seconds) []WindowStats {
+	end := tl.End()
+	if end <= 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = end / 10
+	}
+	if tl.Hz > 0 {
+		if min := units.Seconds(1 / tl.Hz); window < min {
+			window = min
+		}
+	}
+	var out []WindowStats
+	for start := units.Seconds(0); start < end; start += window {
+		wEnd := start + window
+		sums := map[int]*[3]float64{}
+		var modOrder []int
+		n := 0
+		for _, run := range tl.Runs {
+			if run.End <= start || run.Start >= wEnd {
+				continue
+			}
+			for _, s := range run.Samples {
+				if s.T < start || s.T >= wEnd {
+					continue
+				}
+				acc, ok := sums[s.Module]
+				if !ok {
+					acc = &[3]float64{}
+					sums[s.Module] = acc
+					modOrder = append(modOrder, s.Module)
+				}
+				acc[0] += float64(s.ModulePower())
+				acc[1] += s.Freq.GHz()
+				acc[2]++
+				n++
+			}
+		}
+		ws := WindowStats{Start: start, End: wEnd, Samples: n}
+		sort.Ints(modOrder)
+		var pw, fr []float64
+		for _, m := range modOrder {
+			acc := sums[m]
+			pw = append(pw, acc[0]/acc[2])
+			fr = append(fr, acc[1]/acc[2])
+		}
+		ws.Vp = variation(pw)
+		ws.Vf = variation(fr)
+		out = append(out, ws)
+	}
+	return out
+}
+
+// variation is stats.Variation tolerant of empty input.
+func variation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	return stats.Variation(xs)
+}
+
+// Publish exposes each segment's Vp/Vf/Vt as telemetry gauges labelled by
+// run, so the debug endpoint and -metrics dumps carry the analyzer's view.
+func (a Analysis) Publish() {
+	reg := telemetry.Default()
+	for _, seg := range a.Segments {
+		labels := telemetry.Labels{"run": seg.Label}
+		reg.Gauge("varpower_flight_vp", "Per-run module power spread (max/min) from the flight recorder.", labels).Set(seg.Vp)
+		reg.Gauge("varpower_flight_vf", "Per-run delivered-frequency spread (max/min) from the flight recorder.", labels).Set(seg.Vf)
+		reg.Gauge("varpower_flight_vt", "Per-run rank completion-time spread (max/min) from the flight recorder.", labels).Set(seg.Vt)
+	}
+}
+
+// WriteReport renders the analysis as a text report: the per-segment
+// variation table, the windowed Vp/Vf series, and the top straggler
+// modules with their critical-path share.
+func (a Analysis) WriteReport(w io.Writer, topK int) error {
+	if _, err := fmt.Fprintf(w, "flight analysis — %d segment(s)\n\n", len(a.Segments)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %10s %10s %8s %8s %8s %8s %9s\n",
+		"run", "start(s)", "end(s)", "Vp", "Vf", "Vt", "Vt/base", "wait")
+	for _, seg := range a.Segments {
+		fmt.Fprintf(w, "%-28s %10.3f %10.3f %8.3f %8.3f %8.3f %8.3f %8.1f%%\n",
+			seg.Label, float64(seg.Start), float64(seg.End),
+			seg.Vp, seg.Vf, seg.Vt, seg.VtNorm, 100*seg.WaitFrac)
+	}
+	if len(a.Windows) > 0 {
+		fmt.Fprintf(w, "\nwindowed variation (window %.3fs)\n", float64(a.Windows[0].End-a.Windows[0].Start))
+		fmt.Fprintf(w, "%10s %10s %8s %8s %9s\n", "start(s)", "end(s)", "Vp", "Vf", "samples")
+		for _, ws := range a.Windows {
+			fmt.Fprintf(w, "%10.3f %10.3f %8.3f %8.3f %9d\n",
+				float64(ws.Start), float64(ws.End), ws.Vp, ws.Vf, ws.Samples)
+		}
+	}
+	if len(a.Stragglers) > 0 {
+		if topK <= 0 || topK > len(a.Stragglers) {
+			topK = len(a.Stragglers)
+		}
+		fmt.Fprintf(w, "\ntop straggler modules (of %d gating, total stall %.3fs)\n",
+			len(a.Stragglers), float64(a.TotalStall))
+		fmt.Fprintf(w, "%8s %8s %12s %8s\n", "module", "rounds", "stall(s)", "share")
+		for _, st := range a.Stragglers[:topK] {
+			fmt.Fprintf(w, "%8d %8d %12.4f %7.1f%%\n",
+				st.Module, st.Rounds, float64(st.Stall), 100*st.Share)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+// Exporters for the flight recorder: Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing), long-form CSV, and a self-contained HTML
+// timeline built on internal/report's ASCII plots. All exporters walk a
+// Timeline snapshot in its recorded (deterministic) order and emit nothing
+// non-reproducible — no timestamps, no map iteration — so a trace is
+// byte-identical across runs and -workers widths.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"varpower/internal/report"
+	"varpower/internal/units"
+)
+
+// Trace-event pids: rank phase slices live in one process, per-module
+// counter tracks and control events in another, so Perfetto groups them
+// into two collapsible sections.
+const (
+	tracePidRanks   = 1
+	tracePidModules = 2
+)
+
+// traceEvent is one Chrome trace-event object. Field order is fixed by the
+// struct, so serialization is deterministic.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid,omitempty"`
+	Ts   *f6    `json:"ts,omitempty"`
+	Dur  *f6    `json:"dur,omitempty"`
+	Cat  string `json:"cat,omitempty"`
+	S    string `json:"s,omitempty"`
+	Args any    `json:"args,omitempty"`
+}
+
+// f6 marshals a microsecond value with fixed precision so formatting can
+// never depend on float printing quirks across values.
+type f6 float64
+
+// MarshalJSON implements json.Marshaler.
+func (v f6) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%.3f", float64(v))), nil
+}
+
+func usp(t units.Seconds) *f6 {
+	v := f6(float64(t) * 1e6)
+	return &v
+}
+
+// WriteTrace emits the timeline as Chrome trace-event JSON: rank phase
+// slices as complete events under the "ranks" process (one thread per
+// rank), per-module samples as counter tracks and control-plane events as
+// instants under the "modules" process, and collective straggler rounds as
+// instant markers on the straggler's rank thread. Times are microseconds
+// of simulated time.
+func WriteTrace(w io.Writer, tl Timeline) error {
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: tracePidRanks, Args: map[string]string{"name": "ranks"}},
+		{Name: "process_name", Ph: "M", Pid: tracePidModules, Args: map[string]string{"name": "modules"}},
+	}
+
+	// Thread metadata: name every rank and module seen anywhere on the
+	// timeline. Collected into sorted sets so naming order is stable.
+	rankMod := map[int]int{}
+	modSet := map[int]bool{}
+	for _, run := range tl.Runs {
+		for _, iv := range run.Intervals {
+			rankMod[iv.Rank] = iv.Module
+			modSet[iv.Module] = true
+		}
+		for _, s := range run.Samples {
+			modSet[s.Module] = true
+		}
+		for _, e := range run.Events {
+			modSet[e.Module] = true
+		}
+	}
+	ranks := make([]int, 0, len(rankMod))
+	for r := range rankMod {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePidRanks, Tid: r + 1,
+			Args: map[string]string{"name": fmt.Sprintf("rank %d (module %d)", r, rankMod[r])},
+		})
+	}
+	mods := make([]int, 0, len(modSet))
+	for m := range modSet {
+		mods = append(mods, m)
+	}
+	sort.Ints(mods)
+	for _, m := range mods {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePidModules, Tid: m + 1,
+			Args: map[string]string{"name": fmt.Sprintf("module %d", m)},
+		})
+	}
+
+	for _, run := range tl.Runs {
+		// Run extent as a slice on a dedicated "timeline" thread (tid 0 is
+		// reserved by some viewers, so runs ride on the highest rank + 1).
+		events = append(events, traceEvent{
+			Name: run.Label, Ph: "X", Pid: tracePidRanks, Tid: len(ranks) + 1,
+			Ts: usp(run.Start), Dur: usp(run.Elapsed()), Cat: "run",
+		})
+		for _, iv := range run.Intervals {
+			ev := traceEvent{
+				Name: iv.Phase.String(), Ph: "X",
+				Pid: tracePidRanks, Tid: iv.Rank + 1,
+				Ts: usp(iv.Start), Dur: usp(iv.End - iv.Start),
+				Cat: "phase",
+			}
+			if iv.Round >= 0 {
+				ev.Args = map[string]int{"round": iv.Round, "module": iv.Module}
+			} else {
+				ev.Args = map[string]int{"module": iv.Module}
+			}
+			events = append(events, ev)
+		}
+		for _, rd := range run.Rounds {
+			events = append(events, traceEvent{
+				Name: "straggler:" + rd.Kind, Ph: "i",
+				Pid: tracePidRanks, Tid: rd.Rank + 1,
+				Ts: usp(rd.Latest), S: "p", Cat: "round",
+				Args: map[string]any{"round": rd.Round, "module": rd.Module, "stall_us": fmt.Sprintf("%.3f", float64(rd.Stall())*1e6)},
+			})
+		}
+		for _, s := range run.Samples {
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("m%d power (W)", s.Module), Ph: "C",
+				Pid: tracePidModules, Tid: s.Module + 1, Ts: usp(s.T),
+				Args: map[string]f6{"cpu": f6(s.CPUPower), "dram": f6(s.DramPower), "cap": f6(s.Cap)},
+			})
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("m%d freq (GHz)", s.Module), Ph: "C",
+				Pid: tracePidModules, Tid: s.Module + 1, Ts: usp(s.T),
+				Args: map[string]f6{"ghz": f6(s.Freq.GHz())},
+			})
+		}
+		for _, e := range run.Events {
+			events = append(events, traceEvent{
+				Name: e.Kind.String(), Ph: "i",
+				Pid: tracePidModules, Tid: e.Module + 1, Ts: usp(e.T),
+				S: "t", Cat: "control",
+				Args: map[string]f6{"value": f6(e.Value)},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteCSV emits the timeline's sample stream in long form:
+// run,t_s,module,cpu_w,dram_w,cap_w,freq_ghz,temp_c.
+func WriteCSV(w io.Writer, tl Timeline) error {
+	if _, err := fmt.Fprintln(w, "run,t_s,module,cpu_w,dram_w,cap_w,freq_ghz,temp_c"); err != nil {
+		return err
+	}
+	for _, run := range tl.Runs {
+		for _, s := range run.Samples {
+			_, err := fmt.Fprintf(w, "%s,%.6f,%d,%.3f,%.3f,%.3f,%.3f,%.2f\n",
+				csvField(run.Label), float64(s.T), s.Module,
+				float64(s.CPUPower), float64(s.DramPower), float64(s.Cap),
+				s.Freq.GHz(), s.Temp)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePhasesCSV emits the per-rank phase intervals in long form:
+// run,start_s,end_s,rank,module,phase,round (round -1 = run-level slice).
+func WritePhasesCSV(w io.Writer, tl Timeline) error {
+	if _, err := fmt.Fprintln(w, "run,start_s,end_s,rank,module,phase,round"); err != nil {
+		return err
+	}
+	for _, run := range tl.Runs {
+		for _, iv := range run.Intervals {
+			_, err := fmt.Fprintf(w, "%s,%.9f,%.9f,%d,%d,%s,%d\n",
+				csvField(run.Label), float64(iv.Start), float64(iv.End),
+				iv.Rank, iv.Module, iv.Phase, iv.Round)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvField quotes a label when it would break the CSV shape.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteHTML emits a self-contained HTML timeline: a run table, per-module
+// power and frequency plots over simulated time (the modules with the
+// lowest, median and highest mean power, so the variability envelope is
+// visible without plotting thousands of series), and per-run phase
+// totals. No external assets; viewable offline.
+func WriteHTML(w io.Writer, tl Timeline) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>varpower flight timeline</title>\n")
+	b.WriteString("<style>body{font-family:sans-serif;margin:2em}pre{background:#f4f4f4;padding:1em;overflow-x:auto}table{border-collapse:collapse}td,th{border:1px solid #999;padding:0.3em 0.7em;text-align:right}th{background:#eee}td:first-child,th:first-child{text-align:left}</style>\n")
+	b.WriteString("</head><body>\n<h1>Flight timeline</h1>\n")
+
+	fmt.Fprintf(&b, "<p>%d run(s), %.3f simulated seconds, sampled at %g Hz.</p>\n",
+		len(tl.Runs), float64(tl.End()), tl.Hz)
+
+	b.WriteString("<h2>Runs</h2>\n<table><tr><th>run</th><th>start (s)</th><th>end (s)</th><th>samples</th><th>intervals</th><th>events</th><th>rounds</th><th>dropped</th></tr>\n")
+	for _, run := range tl.Runs {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.3f</td><td>%.3f</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			html.EscapeString(run.Label), float64(run.Start), float64(run.End),
+			len(run.Samples), len(run.Intervals), len(run.Events), len(run.Rounds), run.Dropped)
+	}
+	b.WriteString("</table>\n")
+
+	// Envelope modules: lowest / median / highest mean module power.
+	type modAgg struct {
+		id     int
+		sum    float64
+		n      int
+		ts     []float64
+		pw, fr []float64
+	}
+	agg := map[int]*modAgg{}
+	var order []int
+	for _, run := range tl.Runs {
+		for _, s := range run.Samples {
+			a, ok := agg[s.Module]
+			if !ok {
+				a = &modAgg{id: s.Module}
+				agg[s.Module] = a
+				order = append(order, s.Module)
+			}
+			a.sum += float64(s.ModulePower())
+			a.n++
+			a.ts = append(a.ts, float64(s.T))
+			a.pw = append(a.pw, float64(s.ModulePower()))
+			a.fr = append(a.fr, s.Freq.GHz())
+		}
+	}
+	if len(order) > 0 {
+		sort.Ints(order)
+		sort.SliceStable(order, func(i, j int) bool {
+			ai, aj := agg[order[i]], agg[order[j]]
+			return ai.sum/float64(ai.n) < aj.sum/float64(aj.n)
+		})
+		pick := []int{order[0]}
+		if len(order) > 2 {
+			pick = append(pick, order[len(order)/2])
+		}
+		if len(order) > 1 {
+			pick = append(pick, order[len(order)-1])
+		}
+		pp := report.NewPlot("module power vs simulated time", "t (s)", "W")
+		fp := report.NewPlot("delivered frequency vs simulated time", "t (s)", "GHz")
+		for _, id := range pick {
+			a := agg[id]
+			if err := pp.Add(fmt.Sprintf("m%d", id), a.ts, a.pw); err != nil {
+				return err
+			}
+			if err := fp.Add(fmt.Sprintf("m%d", id), a.ts, a.fr); err != nil {
+				return err
+			}
+		}
+		for _, p := range []*report.Plot{pp, fp} {
+			s, err := p.Render()
+			if err != nil {
+				return err
+			}
+			b.WriteString("<pre>")
+			b.WriteString(html.EscapeString(s))
+			b.WriteString("</pre>\n")
+		}
+	}
+
+	b.WriteString("<h2>Phase totals</h2>\n<table><tr><th>run</th><th>compute (s)</th><th>p2p-wait (s)</th><th>collective-wait (s)</th><th>xfer (s)</th><th>finalize-wait (s)</th><th>throttle (s)</th></tr>\n")
+	for _, run := range tl.Runs {
+		var tot [6]float64
+		for _, iv := range run.Intervals {
+			if int(iv.Phase) < len(tot) {
+				tot[iv.Phase] += float64(iv.End - iv.Start)
+			}
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%.3f</td></tr>\n",
+			html.EscapeString(run.Label), tot[0], tot[1], tot[2], tot[3], tot[4], tot[5])
+	}
+	b.WriteString("</table>\n</body></html>\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"varpower/internal/units"
+)
+
+// update rewrites the golden snapshots instead of comparing against them:
+//
+//	go test ./internal/flight -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// checkGolden compares rendered output against testdata/<name>.golden,
+// rewriting the file under -update (the repository-wide convention).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s: exporter output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intended, regenerate with -update.",
+			path, got, want)
+	}
+}
+
+// goldenTimeline builds a small fully deterministic two-run fixture
+// exercising every record type: samples, all interval phases, control
+// events and collective rounds.
+func goldenTimeline() Timeline {
+	rec := New(Config{Hz: 1})
+
+	c := rec.NewCapture("demo/uncapped")
+	c.Event(0, EventFreqRelease, 0)
+	c.Event(1, EventFreqRelease, 0)
+	c.Interval(0, 0, 0, PhaseCompute, 0, 2)
+	c.Interval(1, 1, 0, PhaseCompute, 0, 3)
+	c.Interval(0, 0, 0, PhaseCollectiveWait, 2, 3)
+	c.Collective(0, "allreduce", 1, 1, 2, 3)
+	c.Interval(0, 0, 0, PhaseXfer, 3, 3.25)
+	c.Interval(1, 1, 0, PhaseXfer, 3, 3.25)
+	c.Interval(0, 0, 1, PhaseCompute, 3.25, 4)
+	c.Interval(1, 1, 1, PhaseCompute, 3.25, 4)
+	c.Synthesize(0, 0, Draw{CPU: 100, Dram: 40}, Draw{CPU: 92, Dram: 15}, 0, units.GHz(2.6), 192, 4)
+	c.Synthesize(1, 1, Draw{CPU: 80, Dram: 35}, Draw{CPU: 74, Dram: 15}, 0, units.GHz(2.4), 192, 4)
+	c.Seal(4)
+	rec.Commit(c)
+
+	c = rec.NewCapture("demo/Cm=60W")
+	c.Event(0, EventCapSet, 45)
+	c.Event(1, EventCapSet, 45)
+	c.Event(1, EventThrottle, 1.1e9)
+	c.Interval(0, 0, 0, PhaseCompute, 0, 3)
+	c.Interval(1, 1, 0, PhaseCompute, 0, 5)
+	c.Interval(0, 0, 0, PhaseP2PWait, 3, 5)
+	c.Interval(0, 0, -1, PhaseFinalizeWait, 5, 6)
+	c.Interval(1, 1, -1, PhaseThrottle, 0, 6)
+	c.Collective(0, "sendrecv", 1, 1, 3, 5)
+	c.Synthesize(0, 0, Draw{CPU: 38, Dram: 20}, Draw{CPU: 35, Dram: 12}, 45, units.GHz(1.4), 192, 6)
+	c.Synthesize(1, 1, Draw{CPU: 36, Dram: 22}, Draw{CPU: 33, Dram: 12}, 45, units.GHz(1.1), 192, 6)
+	c.Seal(6)
+	rec.Commit(c)
+
+	return rec.Snapshot()
+}
+
+func TestGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace", buf.Bytes())
+
+	// The trace must be well-formed JSON of the Chrome trace-event shape
+	// (the contract Perfetto and about://tracing load).
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	kinds := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		kinds[e.Ph]++
+	}
+	for _, ph := range []string{"M", "X", "C", "i"} {
+		if kinds[ph] == 0 {
+			t.Fatalf("trace has no %q events: %v", ph, kinds)
+		}
+	}
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "samples_csv", buf.Bytes())
+}
+
+func TestGoldenPhasesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePhasesCSV(&buf, goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "phases_csv", buf.Bytes())
+}
+
+func TestGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	a := Analyze(goldenTimeline(), 0)
+	if err := a.WriteReport(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report", buf.Bytes())
+}
+
+func TestHTMLSelfContained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "demo/uncapped", "demo/Cm=60W", "module power vs simulated time", "</html>"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("HTML missing %q:\n%.400s", want, s)
+		}
+	}
+	for _, external := range []string{"<script src", "<link "} {
+		if bytes.Contains(buf.Bytes(), []byte(external)) {
+			t.Fatalf("HTML references external asset %q", external)
+		}
+	}
+}

@@ -27,13 +27,30 @@ var (
 		"Governor releases back to hardware-managed operation.", nil)
 )
 
+// Listener observes a governor's control-plane actions (frequency pins and
+// releases back to hardware control). Callbacks run synchronously on the
+// goroutine driving the governor; a listener shared across modules must
+// tolerate concurrent calls from different modules. Listeners observe only.
+type Listener interface {
+	// SpeedSet fires after SetSpeed pinned the module; f is the ladder
+	// frequency actually selected.
+	SpeedSet(moduleID int, f units.Hertz)
+	// Released fires when the module returns to hardware-managed operation.
+	Released(moduleID int)
+}
+
 // Governor pins one module's frequency.
 type Governor struct {
-	mod    *module.Module
-	ladder []units.Hertz
-	target units.Hertz
-	pinned bool
+	mod      *module.Module
+	ladder   []units.Hertz
+	target   units.Hertz
+	pinned   bool
+	listener Listener
 }
+
+// SetListener attaches (or, with nil, detaches) a control-plane listener.
+// Attach before a run and detach after; not safe concurrently with use.
+func (g *Governor) SetListener(l Listener) { g.listener = l }
 
 // NewGovernor creates a governor for the module with its architecture's
 // P-state ladder.
@@ -62,6 +79,9 @@ func (g *Governor) SetSpeed(f units.Hertz) (units.Hertz, error) {
 	}
 	g.target = next
 	g.pinned = true
+	if g.listener != nil {
+		g.listener.SpeedSet(g.mod.ID, g.target)
+	}
 	return g.target, nil
 }
 
@@ -69,6 +89,9 @@ func (g *Governor) SetSpeed(f units.Hertz) (units.Hertz, error) {
 func (g *Governor) Release() {
 	if g.pinned {
 		mReleases.Inc()
+		if g.listener != nil {
+			g.listener.Released(g.mod.ID)
+		}
 	}
 	g.pinned = false
 }

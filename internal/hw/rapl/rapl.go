@@ -66,13 +66,37 @@ var DefaultControl = ControlModel{Overhead: 0.02, Jitter: 0.012}
 // PerfectControl removes controller imperfection; used by ablation benches.
 var PerfectControl = ControlModel{}
 
+// Listener observes a controller's control-plane actions: limit writes,
+// limit clears, and resolutions that fell below FMin into duty-cycle
+// throttling. The flight recorder (internal/flight) attaches one per run
+// via measure. Callbacks are invoked synchronously on whatever goroutine
+// drives the controller — per-rank resolution may fan out, so a listener
+// shared across modules must be safe for concurrent use from different
+// modules (the same module is always driven from one goroutine at a time).
+// Listeners observe only; they cannot change controller behaviour.
+type Listener interface {
+	// LimitSet fires after a package limit was programmed.
+	LimitSet(moduleID int, w units.Watts)
+	// LimitCleared fires after package capping was disabled.
+	LimitCleared(moduleID int)
+	// Throttled fires when a resolution exhausted DVFS below FMin;
+	// delivered is the duty-cycled effective frequency.
+	Throttled(moduleID int, delivered units.Hertz)
+}
+
 // Controller drives one module's RAPL interface.
 type Controller struct {
-	mod     *module.Module
-	dev     *msr.Device
-	control ControlModel
-	seed    uint64
+	mod      *module.Module
+	dev      *msr.Device
+	control  ControlModel
+	seed     uint64
+	listener Listener
 }
+
+// SetListener attaches (or, with nil, detaches) a control-plane listener.
+// Not safe to call concurrently with controller use; attach before a run
+// and detach after.
+func (c *Controller) SetListener(l Listener) { c.listener = l }
 
 // NewController attaches a RAPL controller to a module and its MSR device.
 func NewController(mod *module.Module, dev *msr.Device, control ControlModel, seed uint64) *Controller {
@@ -98,12 +122,24 @@ func (c *Controller) SetPkgLimit(w units.Watts, window units.Seconds) error {
 		Clamp:   true,
 	})
 	mLimitWrites.Inc()
-	return c.dev.Write(msr.PkgPowerLimit, raw)
+	if err := c.dev.Write(msr.PkgPowerLimit, raw); err != nil {
+		return err
+	}
+	if c.listener != nil {
+		c.listener.LimitSet(c.mod.ID, w)
+	}
+	return nil
 }
 
 // ClearPkgLimit disables package power capping.
 func (c *Controller) ClearPkgLimit() error {
-	return c.dev.Write(msr.PkgPowerLimit, 0)
+	if err := c.dev.Write(msr.PkgPowerLimit, 0); err != nil {
+		return err
+	}
+	if c.listener != nil {
+		c.listener.LimitCleared(c.mod.ID)
+	}
+	return nil
 }
 
 // PkgLimit reads back the decoded package power limit.
@@ -145,6 +181,9 @@ func (c *Controller) OperatingPoint(p module.PowerProfile) (module.OperatingPoin
 	}
 	if op.Throttled {
 		mThrottleEvents.Inc()
+		if c.listener != nil {
+			c.listener.Throttled(c.mod.ID, op.Freq)
+		}
 	}
 	if loss := c.controlLoss(p, lim.Watts); loss > 0 {
 		op.Freq = units.Hertz(float64(op.Freq) * (1 - loss))
@@ -187,14 +226,19 @@ func (c *Controller) publishPerfStatus(f units.Hertz) {
 	c.dev.SetPerfStatus(uint64(f.MHz()/100 + 0.5))
 }
 
+// WaitCPUFraction is the share of the operating point's CPU power a rank
+// keeps burning while blocked in MPI: busy-polling spins the core, so only
+// a small fraction is saved. Shared with the flight recorder's sample
+// synthesis (internal/measure) so recorded power matches accounted energy.
+const WaitCPUFraction = 0.92
+
 // AccountEnergy advances the module's energy counters by the given
 // operating point held for busy seconds plus a wait period at reduced draw.
 // MPI busy-polling keeps the core spinning, so waiting burns most of the
-// compute power (waitCPUFraction); DRAM drops to its base draw.
+// compute power (WaitCPUFraction); DRAM drops to its base draw.
 func (c *Controller) AccountEnergy(p module.PowerProfile, op module.OperatingPoint, busy, wait units.Seconds) {
-	const waitCPUFraction = 0.92
 	dramBase := c.mod.DramPower(p, c.mod.Arch.FMin)
-	pkgJ := float64(op.CPUPower)*float64(busy) + float64(op.CPUPower)*waitCPUFraction*float64(wait)
+	pkgJ := float64(op.CPUPower)*float64(busy) + float64(op.CPUPower)*WaitCPUFraction*float64(wait)
 	dramJ := float64(op.DramPower)*float64(busy) + float64(dramBase)*float64(wait)
 	c.dev.AccumulateEnergy(pkgJ, dramJ)
 }

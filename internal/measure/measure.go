@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"varpower/internal/cluster"
+	"varpower/internal/flight"
 	"varpower/internal/hw/module"
 	"varpower/internal/parallel"
 	"varpower/internal/simmpi"
@@ -54,6 +55,19 @@ const (
 	// ModePinned: per-module fixed frequencies via cpufreq (the FS strategy).
 	ModePinned
 )
+
+// String returns the mode's stable name.
+func (m Mode) String() string {
+	switch m {
+	case ModeUncapped:
+		return "uncapped"
+	case ModeCapped:
+		return "capped"
+	case ModePinned:
+		return "pinned"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
 
 // ErrInfeasible reports that a module cannot satisfy its power cap at any
 // operating point — the paper's "cannot be operated even with the minimum
@@ -96,6 +110,15 @@ type Config struct {
 	// disabled when Modules carries duplicate IDs, whose RAPL/governor
 	// programming is order-dependent.
 	Workers int
+
+	// Recorder, when non-nil, captures the run's flight record — phase
+	// intervals, control-plane events, straggler rounds and synthesized
+	// per-module samples — and commits it as one segment of the recorder's
+	// timeline. Recording is strictly write-only: the measured Result is
+	// byte-identical with and without it.
+	Recorder *flight.Recorder
+	// RecordLabel names the run's timeline segment (default "bench/mode").
+	RecordLabel string
 }
 
 // ExplicitNoise returns a pointer for Config.RunNoiseSigma (0 disables
@@ -151,6 +174,17 @@ func Run(sys *cluster.System, cfg Config) (Result, error) {
 	n := len(cfg.Modules)
 	prof := cfg.Bench.ProfileFor(sys.Spec.Arch)
 
+	var rec *recording
+	if cfg.Recorder != nil {
+		label := cfg.RecordLabel
+		if label == "" {
+			label = cfg.Bench.Name + "/" + cfg.Mode.String()
+		}
+		rec = &recording{cap: cfg.Recorder.NewCapture(label), modules: cfg.Modules}
+		rec.attach(sys)
+		defer rec.detach(sys)
+	}
+
 	// Resolve each rank's steady-state operating point. Each rank programs
 	// and reads only its own module's RAPL controller and governor, so the
 	// fan-out is safe whenever the module IDs are distinct.
@@ -163,15 +197,27 @@ func Run(sys *cluster.System, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	var probe simmpi.Probe
+	if rec != nil {
+		probe = rec
+	}
 	sp = span.Start("measure.simulate")
-	res, err := simulate(sys, cfg, ops)
+	res, err := simulate(sys, cfg, ops, probe)
 	sp.End()
 	if err != nil {
 		return Result{}, err
 	}
 	sp = span.Start("measure.account")
-	defer sp.End()
-	return account(sys, cfg, prof, ops, res)
+	out, err := account(sys, cfg, prof, ops, res)
+	sp.End()
+	if err != nil {
+		return Result{}, err
+	}
+	if rec != nil {
+		rec.finish(sys, cfg, prof, ops, res)
+		cfg.Recorder.Commit(rec.cap)
+	}
+	return out, nil
 }
 
 // validate checks the configuration shape.
@@ -253,7 +299,7 @@ func resolve(sys *cluster.System, cfg Config, prof module.PowerProfile, rank, id
 
 // simulate runs the SPMD program with per-rank timing derived from the
 // operating points plus the small run-to-run noise.
-func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint) (simmpi.Result, error) {
+func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint, probe simmpi.Probe) (simmpi.Result, error) {
 	n := len(cfg.Modules)
 	prog, err := cfg.Bench.Program(n, sys.Seed)
 	if err != nil {
@@ -284,7 +330,7 @@ func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint) (sim
 		}
 		return units.Seconds(t * noise[rank])
 	})
-	return simmpi.Run(prog, n, model, cfg.Net)
+	return simmpi.RunProbed(prog, n, model, cfg.Net, probe)
 }
 
 // account converts the DES timing into MSR energy-counter activity and

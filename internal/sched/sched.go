@@ -247,9 +247,16 @@ func (s *Scheduler) Run(jobs []Job, cfg Config) (*Result, error) {
 	// shared framework: each job's test runs, RAPL programming and final
 	// run touch only its own modules' devices. The fan-out width is the
 	// framework's (< 1 selects GOMAXPROCS, 1 runs the batch serially);
-	// results land in submission order either way.
+	// results land in submission order either way. An attached flight
+	// recorder forces the serial path: concurrent jobs would commit their
+	// timeline segments in completion order and break trace determinism,
+	// while serially the segments land in submission order for every seed.
+	workers := s.fw.Workers
+	if s.fw.Recorder != nil {
+		workers = 1
+	}
 	res := &Result{Config: cfg}
-	res.Jobs, err = parallel.Map(s.fw.Workers, len(jobs), func(i int) (JobResult, error) {
+	res.Jobs, err = parallel.Map(workers, len(jobs), func(i int) (JobResult, error) {
 		run, err := s.fw.Run(jobs[i].Bench, allocs[i], budgets[i], cfg.Scheme)
 		if err != nil {
 			return JobResult{}, fmt.Errorf("sched: job %q: %w", jobs[i].Name, err)

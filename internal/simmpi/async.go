@@ -81,6 +81,17 @@ type asyncRank struct {
 // RunAsync executes the program on size ranks. It returns per-rank stats
 // compatible with the lockstep engine's Result.
 func RunAsync(p AsyncProgram, size int, m Model, net Network) (Result, error) {
+	return RunAsyncProbed(p, size, m, net, nil)
+}
+
+// RunAsyncProbed is RunAsync with an observation probe (see Probe). The
+// reported round is the rank's op index, so slices from different ranks
+// line up only by time, not by round — async programs have no global
+// rounds. A Recv wait on a reserved collective tag (>= CollectiveTagBase,
+// i.e. inside a lowered collective) is classified as collective-wait,
+// anything else as p2p-wait. The engine's round-robin scheduling is
+// deterministic, so probe call order is too.
+func RunAsyncProbed(p AsyncProgram, size int, m Model, net Network, probe Probe) (Result, error) {
 	if size < 1 {
 		return Result{}, fmt.Errorf("simmpi: async size %d < 1", size)
 	}
@@ -106,6 +117,9 @@ func RunAsync(p AsyncProgram, size int, m Model, net Network) (Result, error) {
 				if dt < 0 {
 					return false, fmt.Errorf("simmpi: negative compute time at rank %d", r)
 				}
+				if probe != nil && dt > 0 {
+					probe.Interval(r, rk.pc, ProbeCompute, rk.now, rk.now+dt)
+				}
 				rk.now += dt
 				rk.busy += dt
 			case Send:
@@ -113,6 +127,9 @@ func RunAsync(p AsyncProgram, size int, m Model, net Network) (Result, error) {
 					return false, fmt.Errorf("simmpi: rank %d sends to %d outside [0,%d)", r, op.Dst, size)
 				}
 				cost := net.transfer(op.Bytes)
+				if probe != nil && cost > 0 {
+					probe.Interval(r, rk.pc, ProbeXfer, rk.now, rk.now+cost)
+				}
 				rk.now += cost
 				rk.xfer += cost
 				mail[op.Dst] = append(mail[op.Dst], message{
@@ -128,6 +145,13 @@ func RunAsync(p AsyncProgram, size int, m Model, net Network) (Result, error) {
 				msg := mail[r][idx]
 				mail[r] = append(mail[r][:idx], mail[r][idx+1:]...)
 				if msg.available > rk.now {
+					if probe != nil {
+						phase := ProbeP2PWait
+						if op.Tag >= CollectiveTagBase {
+							phase = ProbeCollectiveWait
+						}
+						probe.Interval(r, rk.pc, phase, rk.now, msg.available)
+					}
 					rk.wait += msg.available - rk.now
 					rk.now = msg.available
 				}

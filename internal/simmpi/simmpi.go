@@ -160,6 +160,15 @@ type Result struct {
 
 // Run executes the program on size ranks against the model and network.
 func Run(p Program, size int, m Model, net Network) (Result, error) {
+	return RunProbed(p, size, m, net, nil)
+}
+
+// RunProbed is Run with an observation probe: every per-rank phase
+// interval and every communication round's arrival spread is reported to
+// probe (nil probes nothing and costs one predictable branch per event).
+// Probe calls are made from this serial loop in deterministic order; the
+// probe cannot change the result.
+func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, error) {
 	if size < 1 {
 		return Result{}, fmt.Errorf("simmpi: size %d < 1", size)
 	}
@@ -181,6 +190,9 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 				dt := m.ComputeTime(rank, op.Cycles, op.Bytes)
 				if dt < 0 {
 					return Result{}, fmt.Errorf("simmpi: negative compute time %v at rank %d round %d", dt, rank, r)
+				}
+				if probe != nil && dt > 0 {
+					probe.Interval(rank, r, ProbeCompute, t[rank], t[rank]+dt)
 				}
 				t[rank] += dt
 				res.Ranks[rank].Busy += dt
@@ -210,14 +222,26 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 				st.Xfer += xfer
 				st.Sendrecv += end - arrive[rank]
 				t[rank] = end
+				if probe != nil {
+					if start > arrive[rank] {
+						probe.Interval(rank, r, ProbeP2PWait, arrive[rank], start)
+					}
+					if xfer > 0 {
+						probe.Interval(rank, r, ProbeXfer, start, end)
+					}
+				}
+			}
+			if probe != nil {
+				straggler, earliest, latest := spread(arrive)
+				probe.Collective(r, "sendrecv", straggler, earliest, latest)
 			}
 
 		case Barrier, Allreduce:
+			kind := "barrier"
 			if _, isAR := proto.(Allreduce); isAR {
-				mRounds["allreduce"].Inc()
-			} else {
-				mRounds["barrier"].Inc()
+				kind = "allreduce"
 			}
+			mRounds[kind].Inc()
 			copy(arrive, t)
 			var max units.Seconds
 			for rank := 0; rank < size; rank++ {
@@ -239,6 +263,18 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 				st.Wait += max - arrive[rank]
 				st.Xfer += cost
 				t[rank] = max + cost
+				if probe != nil {
+					if max > arrive[rank] {
+						probe.Interval(rank, r, ProbeCollectiveWait, arrive[rank], max)
+					}
+					if cost > 0 {
+						probe.Interval(rank, r, ProbeXfer, max, max+cost)
+					}
+				}
+			}
+			if probe != nil {
+				straggler, earliest, latest := spread(arrive)
+				probe.Collective(r, kind, straggler, earliest, latest)
 			}
 
 		default:

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramRejectsNonFinite is the regression test for the Observe
+// guard: NaN, ±Inf and negative samples must be dropped (tallied in
+// Dropped) without perturbing Count, Sum, Min, Max or any quantile.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -1e300} {
+		h.Observe(bad)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("rejected samples were recorded: %+v", s)
+	}
+	if s.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5", s.Dropped)
+	}
+	if !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) {
+		t.Fatalf("Min/Max perturbed by rejected samples: %+v", s)
+	}
+	if _, ok := s.Quantile(0.5); ok {
+		t.Fatal("quantile reported ok on a histogram of only rejected samples")
+	}
+
+	// Valid samples still record, and the tally is cumulative.
+	h.Observe(2)
+	h.Observe(math.Inf(1))
+	s = h.Snapshot()
+	if s.Count != 1 || s.Sum != 2 || s.Min != 2 || s.Max != 2 {
+		t.Fatalf("valid sample mis-recorded after rejections: %+v", s)
+	}
+	if s.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", s.Dropped)
+	}
+}
+
+// TestConcurrentSpanEndOrdering starts spans in a known serial order, then
+// ends them concurrently — including racing End calls on the same span —
+// and asserts the tracer's invariants: the rendered tree keeps start (id)
+// order regardless of completion order, each span's duration feeds the
+// phase histogram exactly once, and Summary counts every span once.
+func TestConcurrentSpanEndOrdering(t *testing.T) {
+	reg := NewRegistry()
+	clock := &fakeClock{t: time.Unix(2000, 0), step: time.Millisecond}
+	tr := NewTracer(reg, clock.now)
+
+	const n = 64
+	root := tr.Start("batch")
+	spans := make([]*Span, n)
+	for i := range spans {
+		spans[i] = root.Start(fmt.Sprintf("job%02d", i))
+	}
+
+	// End in scrambled order, every span raced by two goroutines.
+	var wg sync.WaitGroup
+	for i := range spans {
+		sp := spans[(i*17+5)%n]
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sp.End()
+			}()
+		}
+	}
+	wg.Wait()
+	root.End()
+
+	// Idempotency: each job span observed exactly one duration.
+	for i := range spans {
+		h := reg.Histogram(PhaseDurationMetric, "", DefTimeBuckets,
+			Labels{"phase": fmt.Sprintf("job%02d", i)})
+		if s := h.Snapshot(); s.Count != 1 {
+			t.Fatalf("job%02d recorded %d durations, want 1", i, s.Count)
+		}
+	}
+	stats := tr.Summary()
+	total := 0
+	for _, s := range stats {
+		total += s.Count
+	}
+	if total != n+1 {
+		t.Fatalf("summary counts %d finished spans, want %d", total, n+1)
+	}
+
+	// The tree must list children in start order, not end order.
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != n+1 {
+		t.Fatalf("tree has %d lines, want %d:\n%s", len(lines), n+1, buf.String())
+	}
+	for i, line := range lines[1:] {
+		want := fmt.Sprintf("job%02d", i)
+		if !strings.Contains(line, want) {
+			t.Fatalf("tree line %d = %q, want span %s (start order)", i+1, line, want)
+		}
+	}
+}

@@ -48,12 +48,13 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 type Histogram struct {
 	bounds []float64 // ascending upper bounds; +Inf implicit
 
-	mu     sync.Mutex
-	counts []uint64 // len(bounds)+1; last is the +Inf bucket
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	mu      sync.Mutex
+	counts  []uint64 // len(bounds)+1; last is the +Inf bucket
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	dropped uint64 // rejected observations (NaN, ±Inf, negative)
 }
 
 // newHistogram builds a histogram with the given upper bounds (copied,
@@ -70,9 +71,16 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe records one sample. NaN samples are dropped.
+// Observe records one sample. Every histogram in this repository measures a
+// non-negative physical quantity (durations, watts, simulated seconds), so
+// NaN, ±Inf and negative samples are rejected — a single such value would
+// otherwise poison Sum/Min/Max and every quantile derived from them.
+// Rejections are tallied in the snapshot's Dropped count.
 func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		h.mu.Lock()
+		h.dropped++
+		h.mu.Unlock()
 		return
 	}
 	// Bucket index: first bound >= v, or the +Inf bucket.
@@ -92,12 +100,13 @@ func (h *Histogram) Observe(v float64) {
 
 // HistSnapshot is a consistent copy of a histogram's state.
 type HistSnapshot struct {
-	Bounds []float64 // upper bounds, ascending; +Inf implicit
-	Counts []uint64  // len(Bounds)+1, per-bucket (not cumulative)
-	Count  uint64
-	Sum    float64
-	Min    float64 // +Inf when empty
-	Max    float64 // -Inf when empty
+	Bounds  []float64 // upper bounds, ascending; +Inf implicit
+	Counts  []uint64  // len(Bounds)+1, per-bucket (not cumulative)
+	Count   uint64
+	Sum     float64
+	Min     float64 // +Inf when empty
+	Max     float64 // -Inf when empty
+	Dropped uint64  // observations rejected by the Observe guard
 }
 
 // Snapshot returns a consistent copy.
@@ -105,12 +114,13 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]uint64, len(h.counts)),
-		Count:  h.count,
-		Sum:    h.sum,
-		Min:    h.min,
-		Max:    h.max,
+		Bounds:  h.bounds,
+		Counts:  make([]uint64, len(h.counts)),
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Dropped: h.dropped,
 	}
 	copy(s.Counts, h.counts)
 	return s
