@@ -7,7 +7,7 @@
 //
 //	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
 //	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
-//	          [-workers W] [-record FILE] [-record-hz HZ]
+//	          [-workers W] [-faults FILE] [-record FILE] [-record-hz HZ]
 //	          [-metrics FILE] [-telemetry] [-http ADDR]
 //	          [-quiet] [-v]
 //
@@ -65,7 +65,7 @@ func main() {
 	}
 	var err error
 	if *sweep != "" {
-		err = runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers)
+		err = runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers, obs)
 	} else {
 		err = run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers, obs)
 	}
@@ -79,7 +79,7 @@ func main() {
 
 // runSweep answers the overprovisioning question: under this budget, how
 // many modules should the job use?
-func runSweep(benchName, budgetStr string, refModules int, sweep string, seed uint64, workers int) error {
+func runSweep(benchName, budgetStr string, refModules int, sweep string, seed uint64, workers int, obs *cliutil.Obs) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -103,6 +103,9 @@ func runSweep(benchName, budgetStr string, refModules int, sweep string, seed ui
 	sys, err := cluster.New(cluster.HA8K(), maxCount, seed)
 	if err != nil {
 		return err
+	}
+	if in := obs.Injector(); in != nil {
+		sys.InstallFaults(in)
 	}
 	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {
@@ -159,6 +162,11 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 	sys, err := cluster.New(cluster.HA8K(), modules, seed)
 	if err != nil {
 		return err
+	}
+	// -faults: budget against failing hardware — quarantined PVT entries,
+	// retried sensor reads, and (with -record) a degraded recorded run.
+	if in := obs.Injector(); in != nil {
+		sys.InstallFaults(in)
 	}
 	ids, err := sys.AllocateFirst(modules)
 	if err != nil {

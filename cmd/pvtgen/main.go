@@ -4,7 +4,13 @@
 // Usage:
 //
 //	pvtgen [-system ha8k|cab|teller|vulcan] [-modules N] [-seed S] [-o file]
-//	       [-workers W] [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//	       [-workers W] [-faults FILE]
+//	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//
+// -faults installs a deterministic fault-injection plan (internal/faults)
+// before the sweep: modules whose sensors stay implausible through retries
+// are quarantined (neutral scales, listed in the table's "quarantined"
+// field) instead of failing the whole generation.
 //
 // -workers bounds the per-module measurement fan-out (0 = GOMAXPROCS,
 // 1 = serial); the generated table is byte-identical for every width.
@@ -86,6 +92,11 @@ func run(system, sysFile string, modules int, seed uint64, out string, workers i
 	sys, err := cluster.New(spec, modules, seed)
 	if err != nil {
 		return err
+	}
+	// -faults: generate the table against failing hardware; persistent
+	// sensor faults show up as quarantined entries in the saved PVT.
+	if in := obs.Injector(); in != nil {
+		sys.InstallFaults(in)
 	}
 	ctx := context.Background()
 	if fn := obs.ProgressFunc("pvt"); fn != nil {

@@ -6,7 +6,7 @@
 //
 //	varsched -jobs batch.json [-modules N] [-power 12.5kW]
 //	         [-policy equal|global-alpha] [-alloc first-fit|efficient]
-//	         [-scheme vafs|vapc|naive|...] [-seed S]
+//	         [-scheme vafs|vapc|naive|...] [-seed S] [-faults FILE]
 //	         [-record FILE] [-record-hz HZ]
 //	         [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
@@ -139,6 +139,10 @@ func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeNa
 	sys, err := cluster.New(cluster.HA8K(), modules, seed)
 	if err != nil {
 		return err
+	}
+	// -faults: schedule the batch on failing hardware (see internal/faults).
+	if in := obs.Injector(); in != nil {
+		sys.InstallFaults(in)
 	}
 	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline]
-//	       [-modules N] [-seed S] [-workers W]
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience]
+//	       [-modules N] [-seed S] [-workers W] [-faults FILE]
 //	       [-record FILE] [-record-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
@@ -29,6 +29,13 @@
 // recorder attached and prints the analyzer's windowed Vp/Vf/Vt and
 // straggler ranking; it is excluded from "all" because it repeats fig2's
 // runs. Recording never changes a rendered table.
+//
+// -faults loads a deterministic fault-injection plan (JSON, see
+// internal/faults) and installs it on every HA8K system the experiments
+// build. The "resilience" experiment sweeps fault severity × scheme with
+// graceful degradation (dead modules' budgets re-solved across survivors);
+// with -faults it evaluates that plan instead of the generated ladder. Like
+// vt-timeline it only runs when asked for explicitly.
 package main
 
 import (
@@ -44,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline)")
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience)")
 		modules = flag.Int("modules", 1920, "HA8K module count")
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
@@ -61,7 +68,7 @@ func main() {
 		fail(err)
 	}
 	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder()}
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan()}
 	var err error
 	if *dump != "" {
 		err = dumpAll(*dump, o)
@@ -165,6 +172,19 @@ func run(exp string, o experiments.Options) error {
 			return err
 		}
 		if err := experiments.RenderVtTimeline(w, vt); err != nil {
+			return err
+		}
+	}
+	// resilience re-runs schemes under injected faults, so — like
+	// vt-timeline — it only runs when asked for explicitly.
+	if exp == "resilience" {
+		ran = true
+		report.Section(w, "Resilience")
+		r, err := experiments.Resilience(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderResilience(w, r); err != nil {
 			return err
 		}
 	}

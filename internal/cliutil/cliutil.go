@@ -14,6 +14,11 @@
 //
 // All of it is presentation-layer only: none of these flags can change a
 // rendered artifact or a simulated result.
+//
+// The one deliberate exception is -faults FILE, which loads a deterministic
+// fault-injection plan (internal/faults) and hands it to the command to
+// install on its systems — a shared way to run any command against the same
+// failing hardware.
 package cliutil
 
 import (
@@ -25,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"varpower/internal/faults"
 	"varpower/internal/flight"
 	"varpower/internal/telemetry"
 )
@@ -38,9 +44,11 @@ type Obs struct {
 	verbose     bool
 	recordPath  string
 	recordHz    float64
+	faultsPath  string
 
 	cmd       string
 	recorder  *flight.Recorder
+	faultPlan *faults.Plan
 	stopHTTP  func() error
 	progMu    sync.Mutex
 	progLast  time.Time
@@ -59,6 +67,7 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 	fs.BoolVar(&o.verbose, "v", false, "verbose stderr output (live progress lines; full span tree with -telemetry)")
 	fs.StringVar(&o.recordPath, "record", "", "write a flight-recorder timeline of the serially executed runs to this file at exit (.trace/.json = Chrome trace-event JSON for Perfetto, .csv = samples CSV plus a .phases.csv companion, .html = self-contained timeline page); the analyzer report accompanies it as <path>.report.txt")
 	fs.Float64Var(&o.recordHz, "record-hz", flight.DefaultHz, "flight-recorder sampling rate in samples per simulated second (negative disables samples, keeping phases and events)")
+	fs.StringVar(&o.faultsPath, "faults", "", "load a deterministic fault-injection plan (JSON, see internal/faults) and install it on the command's systems")
 	return o
 }
 
@@ -67,6 +76,19 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 // started when -http was given.
 func (o *Obs) Start(cmd string) error {
 	o.cmd = cmd
+	if o.faultsPath != "" {
+		f, err := os.Open(o.faultsPath)
+		if err != nil {
+			return fmt.Errorf("%s: load fault plan: %w", cmd, err)
+		}
+		plan, err := faults.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: load fault plan %s: %w", cmd, o.faultsPath, err)
+		}
+		o.faultPlan = plan
+		o.Infof("loaded fault plan %q (%d events) from %s", plan.Name, len(plan.Events), o.faultsPath)
+	}
 	if o.recordPath != "" {
 		o.recorder = flight.New(flight.Config{Hz: o.recordHz})
 	}
@@ -120,6 +142,18 @@ func (o *Obs) Close() error {
 // Recorder returns the -record flight recorder, or nil when recording is
 // off. Commands hand it to the experiment engines' serially executed runs.
 func (o *Obs) Recorder() *flight.Recorder { return o.recorder }
+
+// FaultPlan returns the -faults plan, or nil when no plan was loaded.
+func (o *Obs) FaultPlan() *faults.Plan { return o.faultPlan }
+
+// Injector builds the fault injector for the -faults plan; nil (the
+// no-faults sentinel) when no plan was loaded or the plan is empty.
+func (o *Obs) Injector() *faults.Injector {
+	if o.faultPlan == nil {
+		return nil
+	}
+	return faults.MustInjector(o.faultPlan)
+}
 
 // writeRecord snapshots the recorder, writes the timeline in the format
 // the -record extension selects, runs the analyzer, publishes its gauges

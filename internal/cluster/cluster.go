@@ -21,6 +21,7 @@ package cluster
 import (
 	"fmt"
 
+	"varpower/internal/faults"
 	"varpower/internal/hw/cpufreq"
 	"varpower/internal/hw/module"
 	"varpower/internal/hw/msr"
@@ -82,6 +83,7 @@ type System struct {
 	controllers []*rapl.Controller
 	governors   []*cpufreq.Governor
 	control     rapl.ControlModel
+	faults      *faults.Injector
 }
 
 // New instantiates count modules of the spec (count ≤ Spec.TotalModules;
@@ -146,11 +148,37 @@ func (s *System) SetControlModel(c rapl.ControlModel) {
 	s.control = c
 	for i, m := range s.modules {
 		s.controllers[i] = rapl.NewController(m, s.devices[i], c, s.Seed)
+		if s.faults != nil {
+			s.controllers[i].SetFaultModel(s.faults)
+		}
 	}
 }
 
 // ControlModel returns the RAPL control-imperfection model in force.
 func (s *System) ControlModel() rapl.ControlModel { return s.control }
+
+// InstallFaults attaches a fault injector to every module's measurement and
+// control path: MSR energy-status reads go through the injector's per-device
+// interceptor, and RAPL cap enforcement consults it for drift and spurious
+// throttling. A nil injector detaches everything, restoring the exact
+// pre-fault behaviour. The injector is stateless, so one instance is shared
+// across all modules (and across clones — see Clone).
+func (s *System) InstallFaults(in *faults.Injector) {
+	s.faults = in
+	for i := range s.modules {
+		if in == nil {
+			s.devices[i].SetReadInterceptor(nil)
+			s.controllers[i].SetFaultModel(nil)
+			continue
+		}
+		s.devices[i].SetReadInterceptor(in.Device(i))
+		s.controllers[i].SetFaultModel(in)
+	}
+}
+
+// Faults returns the installed fault injector (nil when the system is
+// healthy).
+func (s *System) Faults() *faults.Injector { return s.faults }
 
 // Clone instantiates an independent replica of the system: same spec, seed,
 // module count and control model, but fresh MSR devices, controllers and
@@ -164,6 +192,9 @@ func (s *System) Clone() *System {
 	out := MustNew(s.Spec, len(s.modules), s.Seed)
 	if s.control != rapl.DefaultControl {
 		out.SetControlModel(s.control)
+	}
+	if s.faults != nil {
+		out.InstallFaults(s.faults)
 	}
 	return out
 }

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"varpower/internal/cluster"
+	"varpower/internal/faults"
 	"varpower/internal/measure"
 	"varpower/internal/parallel"
 	"varpower/internal/telemetry"
@@ -48,6 +49,23 @@ type PVT struct {
 	System         string     `json:"system"`
 	Microbenchmark string     `json:"microbenchmark"`
 	Entries        []PVTEntry `json:"entries"`
+
+	// Quarantined lists modules whose install-time measurements failed
+	// persistently or fell outside the robust population statistics (MAD
+	// outlier rejection); their entries carry neutral scales and are
+	// excluded from the population averages. Empty on a healthy system.
+	Quarantined []int `json:"quarantined,omitempty"`
+}
+
+// IsQuarantined reports whether a module's PVT entry is a quarantine
+// placeholder rather than a measurement.
+func (p *PVT) IsQuarantined(moduleID int) bool {
+	for _, id := range p.Quarantined {
+		if id == moduleID {
+			return true
+		}
+	}
+	return false
 }
 
 // Entry returns the scales for a module ID.
@@ -98,42 +116,116 @@ func GeneratePVTCtx(ctx context.Context, sys *cluster.System, micro *workload.Be
 	defer span.End()
 	arch := sys.Spec.Arch
 	n := sys.NumModules()
-	type raw struct{ cpuMax, dramMax, cpuMin, dramMin float64 }
+	in := sys.Faults()
+	type raw struct {
+		cpuMax, dramMax, cpuMin, dramMin float64
+		quarantined                      bool
+	}
 	raws, err := parallel.MapCtx(ctx, workers, n, func(_ context.Context, id int) (raw, error) {
-		hi, err := measure.TestRun(sys, micro, id, arch.FNom)
-		if err != nil {
-			return raw{}, fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)
+		attempts := 1
+		if in != nil {
+			// Faulty hardware: retry the test-run pair before giving up on
+			// the module, then quarantine instead of failing the install.
+			attempts = 1 + pvtRetries
 		}
-		lo, err := measure.TestRun(sys, micro, id, arch.FMin)
-		if err != nil {
-			return raw{}, fmt.Errorf("core: PVT fmin run on module %d: %w", id, err)
+		var lastErr error
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				faults.MetricRetried.Inc()
+			}
+			hi, err := measure.TestRun(sys, micro, id, arch.FNom)
+			if err != nil {
+				lastErr = fmt.Errorf("core: PVT fmax run on module %d: %w", id, err)
+				continue
+			}
+			lo, err := measure.TestRun(sys, micro, id, arch.FMin)
+			if err != nil {
+				lastErr = fmt.Errorf("core: PVT fmin run on module %d: %w", id, err)
+				continue
+			}
+			return raw{
+				cpuMax: float64(hi.CPUPower), dramMax: float64(hi.DramPower),
+				cpuMin: float64(lo.CPUPower), dramMin: float64(lo.DramPower),
+			}, nil
 		}
-		return raw{
-			cpuMax: float64(hi.CPUPower), dramMax: float64(hi.DramPower),
-			cpuMin: float64(lo.CPUPower), dramMin: float64(lo.DramPower),
-		}, nil
+		if in != nil {
+			return raw{quarantined: true}, nil
+		}
+		return raw{}, lastErr
 	})
 	if err != nil {
 		return nil, err
 	}
+	quar := make([]bool, n)
+	for id := 0; id < n; id++ {
+		quar[id] = raws[id].quarantined
+	}
+	if in != nil {
+		// MAD outlier rejection over each of the four metrics: a module
+		// whose measurement is wildly off-population (a spiked or stuck
+		// counter that still produced numbers) degrades its own entry
+		// instead of corrupting everyone's normalisation. Only runs under
+		// fault injection so a healthy install keeps its exact statistics.
+		for _, get := range []func(raw) float64{
+			func(r raw) float64 { return r.cpuMax },
+			func(r raw) float64 { return r.dramMax },
+			func(r raw) float64 { return r.cpuMin },
+			func(r raw) float64 { return r.dramMin },
+		} {
+			idx := make([]int, 0, n)
+			vals := make([]float64, 0, n)
+			for id := 0; id < n; id++ {
+				if quar[id] {
+					continue
+				}
+				idx = append(idx, id)
+				vals = append(vals, get(raws[id]))
+			}
+			for _, i := range faults.Outliers(vals, 0) {
+				quar[idx[i]] = true
+			}
+		}
+	}
 	// Population averages are reduced in module order after the fan-out so
 	// the float sums are bit-identical for every worker count.
 	var sum raw
+	kept := 0
+	var quarantined []int
 	for id := 0; id < n; id++ {
+		if quar[id] {
+			quarantined = append(quarantined, id)
+			continue
+		}
 		sum.cpuMax += raws[id].cpuMax
 		sum.dramMax += raws[id].dramMax
 		sum.cpuMin += raws[id].cpuMin
 		sum.dramMin += raws[id].dramMin
+		kept++
+	}
+	if kept == 0 {
+		return nil, fmt.Errorf("core: PVT generation quarantined every module")
+	}
+	for range quarantined {
+		faults.MetricQuarantined.Inc()
 	}
 	avg := raw{
-		cpuMax: sum.cpuMax / float64(n), dramMax: sum.dramMax / float64(n),
-		cpuMin: sum.cpuMin / float64(n), dramMin: sum.dramMin / float64(n),
+		cpuMax: sum.cpuMax / float64(kept), dramMax: sum.dramMax / float64(kept),
+		cpuMin: sum.cpuMin / float64(kept), dramMin: sum.dramMin / float64(kept),
 	}
 	if avg.cpuMax == 0 || avg.cpuMin == 0 || avg.dramMax == 0 || avg.dramMin == 0 {
 		return nil, fmt.Errorf("core: PVT generation measured zero average power")
 	}
-	pvt := &PVT{System: sys.Spec.Name, Microbenchmark: micro.Name, Entries: make([]PVTEntry, n)}
+	pvt := &PVT{
+		System: sys.Spec.Name, Microbenchmark: micro.Name,
+		Entries: make([]PVTEntry, n), Quarantined: quarantined,
+	}
 	for id := 0; id < n; id++ {
+		if quar[id] {
+			// Neutral placeholder: the module is treated as exactly average
+			// if a job lands on it, and reported so schedulers can avoid it.
+			pvt.Entries[id] = PVTEntry{ModuleID: id, CPUMax: 1, DramMax: 1, CPUMin: 1, DramMin: 1}
+			continue
+		}
 		pvt.Entries[id] = PVTEntry{
 			ModuleID: id,
 			CPUMax:   raws[id].cpuMax / avg.cpuMax,
@@ -144,6 +236,10 @@ func GeneratePVTCtx(ctx context.Context, sys *cluster.System, micro *workload.Be
 	}
 	return pvt, nil
 }
+
+// pvtRetries bounds the extra test-run attempts per module during a faulty
+// install before the module is quarantined.
+const pvtRetries = 2
 
 // Save serialises the PVT as JSON (the on-disk form a production system
 // would keep from install time).

@@ -1,0 +1,150 @@
+// Graceful degradation for the budgeting pipeline: when modules die or cap
+// enforcement fails mid-run, the allocation they held is not stranded — the
+// application-wide α is re-solved over the survivors so the job keeps using
+// the full constraint. This is the budgeting-layer counterpart of the MPI
+// runtime's dead-rank timeout (internal/simmpi): the runtime keeps the job
+// alive, the re-solve keeps it power-efficient.
+package core
+
+import (
+	"fmt"
+
+	"varpower/internal/faults"
+	"varpower/internal/flight"
+	"varpower/internal/hw/module"
+	"varpower/internal/measure"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// ReSolve redistributes a failed allocation across the surviving modules.
+// dead lists module IDs that no longer consume their allocation (died
+// mid-run); rogue maps module IDs to the power they draw *beyond* their
+// allocation (drifting or lagging caps), which must be reserved out of the
+// budget rather than re-handed to survivors. The survivors are re-solved for
+// a fresh α under the reduced budget, so the total stays within the original
+// constraint. It returns the new allocation and the watts recovered from the
+// dead modules' entries.
+func ReSolve(prev *Allocation, pmt *PMT, arch *module.Arch, dead []int, rogue map[int]units.Watts) (*Allocation, units.Watts, error) {
+	if prev == nil {
+		return nil, 0, fmt.Errorf("core: re-solve without a prior allocation")
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, id := range dead {
+		deadSet[id] = true
+	}
+	var recovered units.Watts
+	for _, e := range prev.Entries {
+		if deadSet[e.ModuleID] {
+			recovered += e.Pmodule
+		}
+	}
+	survivors := &PMT{Workload: pmt.Workload}
+	for _, e := range pmt.Entries {
+		if !deadSet[e.ModuleID] {
+			survivors.Entries = append(survivors.Entries, e)
+		}
+	}
+	if len(survivors.Entries) == 0 {
+		return nil, recovered, fmt.Errorf("core: re-solve with no surviving modules")
+	}
+	budget := prev.Budget
+	for id, w := range rogue {
+		if deadSet[id] || w <= 0 {
+			continue
+		}
+		budget -= w
+	}
+	if budget <= 0 {
+		return nil, recovered, fmt.Errorf("core: rogue draws consume the whole budget %v", prev.Budget)
+	}
+	alloc, err := Solve(survivors, arch, budget)
+	if err != nil {
+		return nil, recovered, err
+	}
+	alloc.Budget = budget
+	faults.MetricResolves.Inc()
+	faults.MetricRecoveredWatts.Set(float64(recovered))
+	return alloc, recovered, nil
+}
+
+// ResilientRun is a scheme evaluation that survived failures: the original
+// run, plus — when modules died — the re-solved allocation and the degraded
+// re-run over the survivors.
+type ResilientRun struct {
+	SchemeRun
+
+	// Dead lists the module IDs that died during the original run.
+	Dead []int
+	// Recovered is the power freed by the dead modules' allocations.
+	Recovered units.Watts
+	// ReAlloc is the re-solved allocation over the survivors (nil when
+	// nothing died).
+	ReAlloc *Allocation
+	// ReResult is the degraded re-run under ReAlloc (zero when nothing
+	// died).
+	ReResult measure.Result
+}
+
+// Failed reports whether the original run lost modules.
+func (r *ResilientRun) Failed() bool { return len(r.Dead) > 0 }
+
+// FinalResult is the run callers should report: the degraded re-run when
+// modules died, the original otherwise.
+func (r *ResilientRun) FinalResult() measure.Result {
+	if r.Failed() {
+		return r.ReResult
+	}
+	return r.Result
+}
+
+// RunResilient is Run with graceful degradation: if the measured run reports
+// dead modules, their allocation is re-solved across the survivors and the
+// application re-run degraded, all within the original power constraint. The
+// re-solve is recorded on the flight timeline (EventReSolve per survivor,
+// EventModuleDeath per casualty) when the framework has a recorder.
+func (fw *Framework) RunResilient(bench *workload.Benchmark, moduleIDs []int, budget units.Watts, scheme Scheme) (*ResilientRun, error) {
+	run, err := fw.Run(bench, moduleIDs, budget, scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResilientRun{SchemeRun: *run}
+	for _, rank := range run.Result.DeadRanks() {
+		out.Dead = append(out.Dead, moduleIDs[rank])
+	}
+	if len(out.Dead) == 0 {
+		return out, nil
+	}
+	reAlloc, recovered, err := ReSolve(run.Alloc, run.PMT, fw.Sys.Spec.Arch, out.Dead, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: re-solve after %d deaths: %w", len(out.Dead), err)
+	}
+	out.ReAlloc = reAlloc
+	out.Recovered = recovered
+	deadSet := make(map[int]bool, len(out.Dead))
+	for _, id := range out.Dead {
+		deadSet[id] = true
+	}
+	survivors := make([]int, 0, len(moduleIDs)-len(out.Dead))
+	for _, id := range moduleIDs {
+		if !deadSet[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	if fw.Recorder != nil {
+		cap := fw.Recorder.NewCapture(fmt.Sprintf("%s/%v/re-solve", bench.Name, scheme))
+		for _, id := range out.Dead {
+			cap.Event(id, flight.EventModuleDeath, 0)
+		}
+		for _, e := range reAlloc.Entries {
+			cap.Event(e.ModuleID, flight.EventReSolve, float64(e.Pcpu))
+		}
+		fw.Recorder.Commit(cap)
+	}
+	res, err := fw.Execute(bench, survivors, reAlloc, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("core: degraded re-run over %d survivors: %w", len(survivors), err)
+	}
+	out.ReResult = res
+	return out, nil
+}

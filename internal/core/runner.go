@@ -149,7 +149,7 @@ func (fw *Framework) holdoutModuleFor(moduleIDs []int) int {
 	}
 	bestDev := math.Inf(1)
 	for _, id := range moduleIDs {
-		if id == test {
+		if id == test || fw.PVT.IsQuarantined(id) {
 			continue
 		}
 		e, err := fw.PVT.Entry(id)
@@ -174,10 +174,15 @@ func (fw *Framework) holdoutModuleFor(moduleIDs []int) int {
 // large workload residual) biases the whole table — and through α, the
 // power of *every* module of an FS run. An average module has the least
 // leverage; the PVT, which the system already has, identifies it for free.
+// Quarantined modules carry placeholder scales of exactly 1.0 — deceptively
+// "closest to the mean" — so they are skipped outright.
 func (fw *Framework) testModuleFor(moduleIDs []int) int {
 	best := moduleIDs[0]
 	bestDev := math.Inf(1)
 	for _, id := range moduleIDs {
+		if fw.PVT.IsQuarantined(id) {
+			continue
+		}
 		e, err := fw.PVT.Entry(id)
 		if err != nil {
 			continue

@@ -23,6 +23,7 @@ import (
 	"context"
 
 	"varpower/internal/cluster"
+	"varpower/internal/faults"
 	"varpower/internal/flight"
 	"varpower/internal/parallel"
 	"varpower/internal/units"
@@ -66,6 +67,13 @@ type Options struct {
 	// trace determinism. Recording is write-only: rendered artifacts are
 	// byte-identical with and without it.
 	Recorder *flight.Recorder
+
+	// Faults, when non-nil and non-empty, installs a deterministic fault
+	// injector (internal/faults) on every HA8K system the generators
+	// instantiate — the -faults flag's path into the experiments. The
+	// resilience experiment additionally sweeps generated fault levels when
+	// no plan is given.
+	Faults *faults.Plan
 }
 
 // progressCtx returns a context carrying this Options' progress callback
@@ -99,11 +107,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// haSystem instantiates the HA8K system at the configured scale.
+// haSystem instantiates the HA8K system at the configured scale, installing
+// the Options' fault plan when one is set.
 func (o Options) haSystem() (*cluster.System, []int, error) {
 	sys, err := cluster.New(cluster.HA8K(), o.HA8KModules, o.Seed)
 	if err != nil {
 		return nil, nil, err
+	}
+	if o.Faults != nil {
+		in, err := faults.NewInjector(o.Faults)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.InstallFaults(in)
 	}
 	ids, err := sys.AllocateFirst(o.HA8KModules)
 	if err != nil {

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"varpower/internal/core"
+	"varpower/internal/faults"
+)
+
+// resOpts keeps the resilience sweep affordable in tests: at 64 modules the
+// generated medium/high levels still produce deaths and quarantines.
+func resOpts(workers int) Options {
+	o := smallOpts()
+	o.HA8KModules = 64
+	o.Workers = workers
+	return o
+}
+
+func TestResilienceSweep(t *testing.T) {
+	r, err := Resilience(resOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Levels) != 4 || r.Levels[0].Name != "none" {
+		t.Fatalf("levels %+v", r.Levels)
+	}
+	var deaths, quarantines int
+	for _, lv := range r.Levels {
+		if len(lv.Cells) != len(ResilienceSchemes) {
+			t.Fatalf("level %s has %d cells", lv.Name, len(lv.Cells))
+		}
+		quarantines += lv.Quarantined
+		for _, c := range lv.Cells {
+			if c.Err != nil {
+				t.Fatalf("level %s scheme %v: %v", lv.Name, c.Scheme, c.Err)
+			}
+			if c.Elapsed <= 0 {
+				t.Fatalf("level %s scheme %v: elapsed %v", lv.Name, c.Scheme, c.Elapsed)
+			}
+			deaths += c.Dead
+			if c.Dead > 0 && (c.Recovered <= 0 || c.ReAlpha <= 0) {
+				t.Fatalf("deaths without recovery: %+v", c)
+			}
+		}
+		// The healthy reference level must be exactly that.
+		if lv.Name == "none" && (lv.Events != 0 || lv.Quarantined != 0) {
+			t.Fatalf("healthy level carries faults: %+v", lv)
+		}
+	}
+	if deaths == 0 {
+		t.Fatal("no level killed a module — the ladder is toothless")
+	}
+	if quarantines == 0 {
+		t.Fatal("no level quarantined a module")
+	}
+	// The experiment's claim: variation-aware budgeting keeps beating Naive
+	// while the hardware degrades.
+	for _, lv := range r.Levels {
+		for _, s := range []core.Scheme{core.VaPc, core.VaFs} {
+			sp, err := r.Speedup(lv.Name, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp <= 1 {
+				t.Errorf("level %s: %v speedup %.3f not above Naive", lv.Name, s, sp)
+			}
+		}
+	}
+}
+
+// TestResilienceWorkerDeterminism: same seed, same fault ladder, any worker
+// width — deep-equal results.
+func TestResilienceWorkerDeterminism(t *testing.T) {
+	run := func(w int) *ResilienceResult {
+		t.Helper()
+		r, err := Resilience(resOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return r
+	}
+	ref := run(1)
+	for _, w := range workerWidths()[1:] {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d produced a different resilience result than serial", w)
+		}
+	}
+}
+
+// TestResilienceExplicitPlan: -faults routes a user plan in as the single
+// faulty level next to the healthy reference.
+func TestResilienceExplicitPlan(t *testing.T) {
+	o := resOpts(0)
+	o.Faults = &faults.Plan{Name: "user", Events: []faults.Event{
+		{Module: 5, Kind: faults.KindModuleDeath, Start: 4},
+		{Module: 9, Kind: faults.KindSlowNode, Magnitude: 1.4},
+	}}
+	r, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Levels) != 2 || r.Levels[0].Name != "none" || r.Levels[1].Name != "user" {
+		t.Fatalf("levels %+v", r.Levels)
+	}
+	if r.Levels[1].Events != 2 {
+		t.Fatalf("plan level has %d events", r.Levels[1].Events)
+	}
+	for _, c := range r.Levels[1].Cells {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if c.Dead != 1 {
+			t.Fatalf("scheme %v saw %d deaths, want 1", c.Scheme, c.Dead)
+		}
+	}
+}
+
+func TestRenderResilience(t *testing.T) {
+	r, err := Resilience(resOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderResilience(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Resilience: MHD under faults", "vs Naive", "none", "high", "re-solved across survivors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadPlan feeds arbitrary bytes to the fault-plan loader: it must
+// either return a validated plan or an error — never panic, whatever the
+// document claims about kinds, times or magnitudes. Every accepted plan must
+// survive a save/load round trip and build an injector without panicking.
+func FuzzLoadPlan(f *testing.F) {
+	var seed bytes.Buffer
+	good := &Plan{Name: "seed", Events: []Event{
+		{Module: 0, Kind: KindStuckMSR, Start: 1, Duration: 2},
+		{Module: 1, Kind: KindModuleDeath, Start: 3},
+		{Module: 2, Kind: KindCapDrift, Magnitude: 1.2},
+	}}
+	if err := good.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"events":[]}`)
+	f.Add(`{"events":[{"module":-1,"kind":"stuck-msr"}]}`)
+	f.Add(`{"events":[{"kind":"nonsense","start":1e308}]}`)
+	f.Add(`{"events":[{"kind":"spike-msr","magnitude":-5}]}`)
+	f.Add(`{"events":[{"kind":"thermal-throttle","magnitude":2}]}`)
+	f.Add(`{"events":[{"kind":"stuck-msr","start":1,"duration":9},{"kind":"stuck-msr","start":2}]}`)
+	f.Add(`{"events":[{"module":1,"kind":"module-death","start":"soon"}]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(strings.Repeat("{", 64))
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("accepted plan does not save: %v", err)
+		}
+		again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("saved plan does not re-load: %v", err)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("round trip changed plan:\n%+v\n%+v", p, again)
+		}
+		// A validated plan must build an injector (nil for the empty plan)
+		// whose queries are total functions — probe a few.
+		in, err := NewInjector(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not build an injector: %v", err)
+		}
+		for _, e := range p.Events {
+			_, _ = in.EnergyRead(e.Module, e.Start, 1000, 900, true)
+			_ = in.EffectiveCap(e.Module, 80)
+			_ = in.SlowFactor(e.Module)
+			_, _ = in.DeathTime(e.Module)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"varpower/internal/xrand"
+)
+
+// RateSpec gives each fault kind's per-module incidence probability for one
+// generated plan: 0.05 means each module independently has a 5% chance of
+// carrying that fault. Sensor-fault windows are placed uniformly inside
+// [0, Horizon) with durations up to a quarter of it; control-plane faults
+// and deaths draw their kind-specific magnitudes from tight ranges around
+// the kind defaults.
+type RateSpec struct {
+	StuckMSR        float64 `json:"stuck_msr,omitempty"`
+	SpikeMSR        float64 `json:"spike_msr,omitempty"`
+	DropMSR         float64 `json:"drop_msr,omitempty"`
+	CapDrift        float64 `json:"cap_drift,omitempty"`
+	CapLag          float64 `json:"cap_lag,omitempty"`
+	ThermalThrottle float64 `json:"thermal_throttle,omitempty"`
+	SlowNode        float64 `json:"slow_node,omitempty"`
+	ModuleDeath     float64 `json:"module_death,omitempty"`
+
+	// Horizon is the virtual-seconds extent used to place windowed faults
+	// and deaths (default 120).
+	Horizon float64 `json:"horizon,omitempty"`
+}
+
+// rate returns the spec's probability for a kind.
+func (s RateSpec) rate(k Kind) float64 {
+	switch k {
+	case KindStuckMSR:
+		return s.StuckMSR
+	case KindSpikeMSR:
+		return s.SpikeMSR
+	case KindDropMSR:
+		return s.DropMSR
+	case KindCapDrift:
+		return s.CapDrift
+	case KindCapLag:
+		return s.CapLag
+	case KindThermalThrottle:
+		return s.ThermalThrottle
+	case KindSlowNode:
+		return s.SlowNode
+	case KindModuleDeath:
+		return s.ModuleDeath
+	}
+	return 0
+}
+
+// Validate checks that every rate is a probability and the horizon sane.
+func (s RateSpec) Validate() error {
+	for _, k := range AllKinds() {
+		r := s.rate(k)
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			return fmt.Errorf("faults: rate for %s is %v, want [0,1]", k, r)
+		}
+	}
+	if math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) || s.Horizon < 0 {
+		return fmt.Errorf("faults: bad horizon %v", s.Horizon)
+	}
+	return nil
+}
+
+// Generate draws a plan from a seed and rate spec over the given module
+// count. Each (module, kind) pair is decided by its own keyed stream, so
+// the plan is deterministic in (seed, spec, modules) and independent of
+// everything else — the same seed reproduces the same fault environment in
+// every process and test.
+func Generate(seed uint64, spec RateSpec, modules int) (*Plan, error) {
+	if modules < 0 {
+		return nil, fmt.Errorf("faults: generate over %d modules", modules)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	horizon := spec.Horizon
+	if horizon == 0 {
+		horizon = 120
+	}
+	p := &Plan{Name: fmt.Sprintf("generated-%#x", seed)}
+	for m := 0; m < modules; m++ {
+		for _, k := range AllKinds() {
+			r := spec.rate(k)
+			if r == 0 {
+				continue
+			}
+			rng := xrand.NewKeyed(seed, xrand.HashString("faultgen"), uint64(m), xrand.HashString(string(k)))
+			if rng.Float64() >= r {
+				continue
+			}
+			e := Event{Module: m, Kind: k}
+			switch k {
+			case KindStuckMSR, KindSpikeMSR, KindDropMSR:
+				e.Start = rng.Uniform(0, horizon*0.75)
+				e.Duration = rng.Uniform(horizon/20, horizon/4)
+			case KindCapDrift:
+				e.Magnitude = rng.Uniform(1.05, 1.30)
+			case KindCapLag:
+				e.Magnitude = rng.Uniform(2, 10)
+			case KindThermalThrottle:
+				e.Magnitude = rng.Uniform(0.1, 0.35)
+			case KindSlowNode:
+				e.Magnitude = rng.Uniform(1.1, 1.6)
+			case KindModuleDeath:
+				e.Start = rng.Uniform(horizon*0.05, horizon*0.8)
+			}
+			p.Events = append(p.Events, e)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("faults: generated plan invalid: %w", err)
+	}
+	return p, nil
+}

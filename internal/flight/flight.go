@@ -144,6 +144,12 @@ const (
 	// EventThrottle: cap resolution fell below FMin into duty-cycle
 	// throttling (Value = delivered Hz).
 	EventThrottle
+	// EventModuleDeath: the module died mid-run under fault injection
+	// (Value = virtual death time in seconds).
+	EventModuleDeath
+	// EventReSolve: the budget solver redistributed this module's allocation
+	// after a failure (Value = the module's new cap in watts, 0 if dead).
+	EventReSolve
 )
 
 // String returns the stable export name of the event kind.
@@ -159,6 +165,10 @@ func (k EventKind) String() string {
 		return "freq-release"
 	case EventThrottle:
 		return "throttle"
+	case EventModuleDeath:
+		return "module-death"
+	case EventReSolve:
+		return "re-solve"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

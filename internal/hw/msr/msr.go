@@ -70,6 +70,20 @@ var whitelist = map[uint64]access{
 	PlatformPowerInfo: {readable: true},
 }
 
+// ReadInterceptor perturbs what software observes when it reads an
+// energy-status register — the fault-injection hook (internal/faults
+// satisfies it structurally, keeping this package dependency-free).
+//
+// addr is the register, t the device's current poll time on the run's
+// virtual clock, raw the true register value, and last the value the
+// previous read of this register *returned* (hasLast false on the first
+// read — last-returned tracking is what lets a stuck-counter fault repeat
+// itself). The interceptor returns the observed value or an error
+// (emulating msr-safe's EIO); the register underneath is never changed.
+type ReadInterceptor interface {
+	InterceptRead(addr uint64, t float64, raw, last uint64, hasLast bool) (uint64, error)
+}
+
 // Device is one socket's MSR file. It is safe for concurrent use — the
 // simulated "OS" may read energy counters while a controller thread writes
 // power limits, exactly as on real hardware.
@@ -82,6 +96,11 @@ type Device struct {
 	// to truncation.
 	pkgEnergyFrac  float64
 	dramEnergyFrac float64
+
+	// Fault interception (nil = faithful reads, the exact pre-fault path).
+	icept    ReadInterceptor
+	pollTime float64
+	lastRet  map[uint64]uint64
 }
 
 // NewDevice returns a device with the unit register and power-info
@@ -93,6 +112,26 @@ func NewDevice(tdpWatts float64) *Device {
 	return d
 }
 
+// SetReadInterceptor attaches (or, with nil, detaches) the fault-injection
+// read hook. Interception covers only the energy-status registers — the
+// observed side of power telemetry — and cannot touch register state.
+func (d *Device) SetReadInterceptor(i ReadInterceptor) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.icept = i
+	d.lastRet = nil
+}
+
+// SetPollTime stamps the run's virtual clock onto subsequent reads so a
+// time-windowed sensor fault knows whether it is open. Energy accounting
+// advances no global clock of its own; the poll loop (internal/measure)
+// drives this.
+func (d *Device) SetPollTime(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pollTime = t
+}
+
 // Read returns the value of the register at addr, enforcing the whitelist.
 func (d *Device) Read(addr uint64) (uint64, error) {
 	a, ok := whitelist[addr]
@@ -101,7 +140,20 @@ func (d *Device) Read(addr uint64) (uint64, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.regs[addr], nil
+	val := d.regs[addr]
+	if d.icept != nil && (addr == PkgEnergyStatus || addr == DramEnergyStatus) {
+		last, hasLast := d.lastRet[addr]
+		v, err := d.icept.InterceptRead(addr, d.pollTime, val, last, hasLast)
+		if err != nil {
+			return 0, err
+		}
+		if d.lastRet == nil {
+			d.lastRet = make(map[uint64]uint64, 2)
+		}
+		d.lastRet[addr] = v
+		return v, nil
+	}
+	return val, nil
 }
 
 // Write stores val into the register at addr, enforcing the whitelist's
@@ -158,10 +210,19 @@ func EnergyCounterToJoules(raw uint64) float64 {
 }
 
 // EnergyDeltaJoules converts two successive raw counter reads into the
-// joules elapsed between them, handling 32-bit wraparound.
+// joules elapsed between them, handling a single 32-bit wraparound. Gaps
+// longer than one counter period alias (the counter wraps every 65,536 J);
+// the rapl controller's 64-bit extended counters (ExtendedDeltaJoules)
+// remove that limit.
 func EnergyDeltaJoules(before, after uint64) float64 {
 	delta := (after - before) & 0xFFFFFFFF
 	return float64(delta) / (1 << energyUnitExp)
+}
+
+// ExtendedDeltaJoules converts two 64-bit extended counter values into
+// joules, with no wrap to handle.
+func ExtendedDeltaJoules(before, after uint64) float64 {
+	return float64(after-before) / (1 << energyUnitExp)
 }
 
 // EncodePowerUnits converts watts to raw 1/2^powerUnitExp-watt units

@@ -21,6 +21,7 @@ package rapl
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"varpower/internal/hw/module"
 	"varpower/internal/hw/msr"
@@ -84,6 +85,20 @@ type Listener interface {
 	Throttled(moduleID int, delivered units.Hertz)
 }
 
+// FaultModel perturbs the *enforced* side of RAPL: the cap the hardware
+// actually holds for a programmed limit (cap drift), and spurious
+// thermal-throttle episodes that cut delivered frequency independently of
+// any cap. internal/faults satisfies it structurally; nil keeps the exact
+// pre-fault behavior.
+type FaultModel interface {
+	// EffectiveCap returns the limit enforcement actually holds for the
+	// programmed value.
+	EffectiveCap(moduleID int, programmed units.Watts) units.Watts
+	// SpuriousThrottle reports a thermal-throttle episode as the fraction
+	// by which delivered frequency drops.
+	SpuriousThrottle(moduleID int) (frac float64, ok bool)
+}
+
 // Controller drives one module's RAPL interface.
 type Controller struct {
 	mod      *module.Module
@@ -91,12 +106,30 @@ type Controller struct {
 	control  ControlModel
 	seed     uint64
 	listener Listener
+	faults   FaultModel
+
+	// 64-bit extension of the 32-bit energy-status counters: every read
+	// folds the wrapped delta since the previous read into ext*, so two
+	// snapshots spaced further apart than one counter period (65,536 J at
+	// RAPL's 1/2^16 J unit) still difference correctly — provided the
+	// counters are observed at least once per wrap, which the stepped
+	// accumulation in AccountEnergy guarantees. Guarded by emu: energy may
+	// be accumulated concurrently with snapshot reads.
+	emu               sync.Mutex
+	extPkg, extDram   uint64
+	lastPkg, lastDram uint64
+	extInit           bool
 }
 
 // SetListener attaches (or, with nil, detaches) a control-plane listener.
 // Not safe to call concurrently with controller use; attach before a run
 // and detach after.
 func (c *Controller) SetListener(l Listener) { c.listener = l }
+
+// SetFaultModel attaches (or, with nil, detaches) the enforcement fault
+// model. Install before any run; the model must be stateless (it is queried
+// from whatever goroutine resolves the module's operating point).
+func (c *Controller) SetFaultModel(f FaultModel) { c.faults = f }
 
 // NewController attaches a RAPL controller to a module and its MSR device.
 func NewController(mod *module.Module, dev *msr.Device, control ControlModel, seed uint64) *Controller {
@@ -166,18 +199,26 @@ func (c *Controller) OperatingPoint(p module.PowerProfile) (module.OperatingPoin
 		return module.OperatingPoint{}, false
 	}
 	if !lim.Enabled {
-		op := c.mod.Uncapped(p)
+		op := c.applySpurious(p, c.mod.Uncapped(p))
 		c.publishPerfStatus(op.Freq)
 		return op, true
 	}
-	op, ok := c.mod.Capped(p, units.Watts(lim.Watts))
+	// An injected cap-drift fault makes enforcement hold a different limit
+	// than software programmed — the module genuinely runs at the drifted
+	// cap (the *enforced* value is fair game for injection; ground truth
+	// never is).
+	capW := units.Watts(lim.Watts)
+	if c.faults != nil {
+		capW = c.faults.EffectiveCap(c.mod.ID, capW)
+	}
+	op, ok := c.mod.Capped(p, capW)
 	if !ok {
 		mInfeasible.Inc()
 		return module.OperatingPoint{}, false
 	}
-	if unc := c.mod.Uncapped(p); float64(unc.CPUPower) > lim.Watts {
+	if unc := c.mod.Uncapped(p); unc.CPUPower > capW {
 		mClampEvents.Inc()
-		mPowerAboveCap.Observe(float64(unc.CPUPower) - lim.Watts)
+		mPowerAboveCap.Observe(float64(unc.CPUPower - capW))
 	}
 	if op.Throttled {
 		mThrottleEvents.Inc()
@@ -185,7 +226,7 @@ func (c *Controller) OperatingPoint(p module.PowerProfile) (module.OperatingPoin
 			c.listener.Throttled(c.mod.ID, op.Freq)
 		}
 	}
-	if loss := c.controlLoss(p, lim.Watts); loss > 0 {
+	if loss := c.controlLoss(p, float64(capW)); loss > 0 {
 		op.Freq = units.Hertz(float64(op.Freq) * (1 - loss))
 		// Power stays pinned at the cap when the cap binds; at a lower
 		// frequency the module would naturally draw less, but RAPL's
@@ -197,8 +238,34 @@ func (c *Controller) OperatingPoint(p module.PowerProfile) (module.OperatingPoin
 		}
 		op.DramPower = c.mod.DramPower(p, op.Freq)
 	}
+	op = c.applySpurious(p, op)
 	c.publishPerfStatus(op.Freq)
 	return op, true
+}
+
+// applySpurious applies an injected thermal-throttle episode to a resolved
+// operating point: delivered frequency drops by the episode's fraction and
+// power follows the module's natural draw at the reduced clock. No-op
+// without a fault model.
+func (c *Controller) applySpurious(p module.PowerProfile, op module.OperatingPoint) module.OperatingPoint {
+	if c.faults == nil {
+		return op
+	}
+	frac, ok := c.faults.SpuriousThrottle(c.mod.ID)
+	if !ok || frac <= 0 {
+		return op
+	}
+	op.Freq = units.Hertz(float64(op.Freq) * (1 - frac))
+	if natural := c.mod.CPUPower(p, op.Freq); natural < op.CPUPower {
+		op.CPUPower = natural
+	}
+	op.DramPower = c.mod.DramPower(p, op.Freq)
+	op.Throttled = true
+	mThrottleEvents.Inc()
+	if c.listener != nil {
+		c.listener.Throttled(c.mod.ID, op.Freq)
+	}
+	return op
 }
 
 // controlLoss returns the fractional frequency shortfall for this
@@ -232,24 +299,53 @@ func (c *Controller) publishPerfStatus(f units.Hertz) {
 // synthesis (internal/measure) so recorded power matches accounted energy.
 const WaitCPUFraction = 0.92
 
+// quarterWrapJoules is a quarter of the 32-bit counter's period (65,536 J
+// at the 1/2^16 J energy unit). Accumulations below it take the historical
+// single-commit path — bit-identical to the pre-fix behavior — while larger
+// quanta are stepped so the counter is observed at least once per wrap.
+const quarterWrapJoules = 16384
+
 // AccountEnergy advances the module's energy counters by the given
 // operating point held for busy seconds plus a wait period at reduced draw.
 // MPI busy-polling keeps the core spinning, so waiting burns most of the
 // compute power (WaitCPUFraction); DRAM drops to its base draw.
+//
+// A quantum larger than a quarter counter period is committed in steps with
+// an internal counter poll after each, so even one huge accumulation cannot
+// slip a full 32-bit wrap (or more) past the Snapshot/Since extension —
+// the multi-wrap gap that previously under-counted.
 func (c *Controller) AccountEnergy(p module.PowerProfile, op module.OperatingPoint, busy, wait units.Seconds) {
 	dramBase := c.mod.DramPower(p, c.mod.Arch.FMin)
 	pkgJ := float64(op.CPUPower)*float64(busy) + float64(op.CPUPower)*WaitCPUFraction*float64(wait)
 	dramJ := float64(op.DramPower)*float64(busy) + float64(dramBase)*float64(wait)
-	c.dev.AccumulateEnergy(pkgJ, dramJ)
+	if pkgJ < quarterWrapJoules && dramJ < quarterWrapJoules {
+		c.dev.AccumulateEnergy(pkgJ, dramJ)
+		return
+	}
+	steps := int(math.Max(pkgJ, dramJ)/quarterWrapJoules) + 1
+	for i := 0; i < steps; i++ {
+		c.dev.AccumulateEnergy(pkgJ/float64(steps), dramJ/float64(steps))
+		// Fold the intermediate counter values into the 64-bit extension;
+		// read failures (injected sensor drops) are tolerated — the next
+		// successful poll reconciles whatever wraps it can still see.
+		_, _ = c.Snapshot()
+	}
 }
 
-// EnergySnapshot is a pair of raw counter reads used to compute deltas.
+// EnergySnapshot is a pair of extended (64-bit) counter reads used to
+// compute deltas.
 type EnergySnapshot struct {
 	pkg  uint64
 	dram uint64
 }
 
-// Snapshot reads both energy counters.
+// Snapshot reads both energy counters and folds them into the controller's
+// 64-bit extension, returning the extended values. As long as the counters
+// are read at least once per wrap period (the account loop polls every 30
+// virtual seconds and AccountEnergy self-polls for oversized quanta),
+// snapshots spaced arbitrarily far apart difference correctly — the 32-bit
+// modular arithmetic that silently dropped whole periods is confined to
+// successive raw reads.
 func (c *Controller) Snapshot() (EnergySnapshot, error) {
 	pkg, err := c.dev.Read(msr.PkgEnergyStatus)
 	if err != nil {
@@ -259,16 +355,26 @@ func (c *Controller) Snapshot() (EnergySnapshot, error) {
 	if err != nil {
 		return EnergySnapshot{}, err
 	}
-	return EnergySnapshot{pkg: pkg, dram: dram}, nil
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	if !c.extInit {
+		c.lastPkg, c.lastDram = pkg, dram
+		c.extInit = true
+	}
+	c.extPkg += (pkg - c.lastPkg) & 0xFFFFFFFF
+	c.extDram += (dram - c.lastDram) & 0xFFFFFFFF
+	c.lastPkg, c.lastDram = pkg, dram
+	return EnergySnapshot{pkg: c.extPkg, dram: c.extDram}, nil
 }
 
 // Since returns the package and DRAM energy accumulated since the earlier
-// snapshot, wrap-safe.
+// snapshot. Extended counters make this wrap-safe across gaps of any
+// length, not just gaps under one counter period.
 func (c *Controller) Since(s EnergySnapshot) (pkg, dram units.Joules, err error) {
 	now, err := c.Snapshot()
 	if err != nil {
 		return 0, 0, err
 	}
-	return units.Joules(msr.EnergyDeltaJoules(s.pkg, now.pkg)),
-		units.Joules(msr.EnergyDeltaJoules(s.dram, now.dram)), nil
+	return units.Joules(msr.ExtendedDeltaJoules(s.pkg, now.pkg)),
+		units.Joules(msr.ExtendedDeltaJoules(s.dram, now.dram)), nil
 }

@@ -1,0 +1,87 @@
+package sensors
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"varpower/internal/faults"
+	"varpower/internal/units"
+)
+
+func TestPerturbDropsAndSpikes(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{
+		{Module: 1, Kind: faults.KindDropMSR, Start: 2, Duration: 3},
+	}}
+	in := faults.MustInjector(plan)
+
+	healthy := Attach(EMON, 9, 1).Trace(100, 10)
+	s := Attach(EMON, 9, 1)
+	s.SetPerturb(in.SensorPerturb(1))
+	got := s.Trace(100, 10)
+
+	if len(got) >= len(healthy) {
+		t.Fatalf("drop window removed no samples: %d vs %d", len(got), len(healthy))
+	}
+	// Surviving samples are bit-identical to the healthy sensor's — the RNG
+	// advances whether or not the sample is delivered.
+	byTime := make(map[units.Seconds]units.Watts, len(healthy))
+	for _, p := range healthy {
+		byTime[p.At] = p.Power
+	}
+	for _, p := range got {
+		if p.At >= 2 && p.At < 5 {
+			t.Fatalf("sample at %v delivered inside the drop window", p.At)
+		}
+		if byTime[p.At] != p.Power {
+			t.Fatalf("surviving sample at %v perturbed: %v vs %v", p.At, p.Power, byTime[p.At])
+		}
+	}
+
+	// A nil hook is the exact healthy path.
+	s2 := Attach(EMON, 9, 1)
+	s2.SetPerturb(nil)
+	if !reflect.DeepEqual(s2.Trace(100, 10), healthy) {
+		t.Fatal("nil perturb hook changed the trace")
+	}
+}
+
+func TestRobustAverageRejectsSpikes(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{
+		{Module: 0, Kind: faults.KindSpikeMSR, Start: 1, Duration: 0.9, Magnitude: 100},
+	}}
+	in := faults.MustInjector(plan)
+	s := Attach(EMON, 3, 0)
+	s.SetPerturb(in.SensorPerturb(0))
+	trace := s.Trace(100, 10)
+
+	naive, err := Average(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, rejected, err := RobustAverage(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected == 0 {
+		t.Fatal("spiked samples not rejected")
+	}
+	if math.Abs(float64(naive)-100) < math.Abs(float64(robust)-100) {
+		t.Fatalf("robust mean %v further from truth than naive %v", robust, naive)
+	}
+	if math.Abs(float64(robust)-100) > 2 {
+		t.Fatalf("robust mean %v far from the 100 W truth", robust)
+	}
+
+	// Healthy trace: no rejections, equals Average.
+	h := Attach(EMON, 3, 0).Trace(100, 10)
+	avg, _ := Average(h)
+	r, n, err := RobustAverage(h, 0)
+	if err != nil || n != 0 || r != avg {
+		t.Fatalf("healthy robust average diverged: %v/%d/%v vs %v", r, n, err, avg)
+	}
+
+	if _, _, err := RobustAverage(nil, 0); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

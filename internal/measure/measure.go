@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"varpower/internal/cluster"
+	"varpower/internal/faults"
 	"varpower/internal/flight"
 	"varpower/internal/hw/module"
 	"varpower/internal/parallel"
@@ -146,10 +147,48 @@ type RankResult struct {
 	// reports per module).
 	AvgCPUPower  units.Watts
 	AvgDramPower units.Watts
+
+	// DroppedPolls counts energy-counter polls abandoned during the run —
+	// reads that kept failing after retries, or deltas rejected as
+	// implausible. The rank's energies cover only the polls that succeeded
+	// (partial results); 0 on a healthy module.
+	DroppedPolls int
+	// Retries counts energy-counter read retries that eventually succeeded.
+	Retries int
 }
 
 // AvgModulePower is the rank's average CPU+DRAM power.
 func (r RankResult) AvgModulePower() units.Watts { return r.AvgCPUPower + r.AvgDramPower }
+
+// Verdict classifies a module's health after a run.
+type Verdict string
+
+// Health verdicts, worst first. A module with several concurrent faults gets
+// the worst applicable verdict.
+const (
+	// VerdictDead: the rank died mid-run; its stats are partial.
+	VerdictDead Verdict = "dead"
+	// VerdictSensorFault: energy readings were perturbed, dropped or
+	// rejected; the rank's energies are not trustworthy.
+	VerdictSensorFault Verdict = "sensor-fault"
+	// VerdictCapDrift: cap enforcement drifted or lagged; the rank may have
+	// drawn more than its allocation.
+	VerdictCapDrift Verdict = "cap-drift"
+	// VerdictThrottled: a spurious thermal throttle cut the rank's frequency.
+	VerdictThrottled Verdict = "throttled"
+	// VerdictSlow: the node computed slower than its operating point implies.
+	VerdictSlow Verdict = "slow"
+	// VerdictOK: no fault touched this module.
+	VerdictOK Verdict = "ok"
+)
+
+// ModuleHealth is one rank's post-run health report.
+type ModuleHealth struct {
+	Rank     int
+	ModuleID int
+	Verdict  Verdict
+	Detail   string
+}
 
 // Result is a full run outcome.
 type Result struct {
@@ -161,6 +200,32 @@ type Result struct {
 	// AvgTotalPower is TotalEnergy / Elapsed — the quantity the paper's
 	// Figure 9 compares against the system power constraint.
 	AvgTotalPower units.Watts
+
+	// Health carries per-rank health verdicts when the system has a fault
+	// injector installed; nil on healthy systems, so fault-free results are
+	// unchanged by the hardening.
+	Health []ModuleHealth
+}
+
+// DeadRanks returns the ranks that died mid-run, in rank order.
+func (r Result) DeadRanks() []int {
+	var out []int
+	for _, h := range r.Health {
+		if h.Verdict == VerdictDead {
+			out = append(out, h.Rank)
+		}
+	}
+	return out
+}
+
+// Degraded reports whether any module finished with a non-OK verdict.
+func (r Result) Degraded() bool {
+	for _, h := range r.Health {
+		if h.Verdict != VerdictOK {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes cfg on the system.
@@ -309,6 +374,7 @@ func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint, prob
 	if cfg.RunNoiseSigma != nil {
 		noiseSigma = *cfg.RunNoiseSigma
 	}
+	in := sys.Faults()
 	noise := make([]float64, n)
 	for rank := range noise {
 		noise[rank] = 1
@@ -316,6 +382,11 @@ func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint, prob
 			rng := xrand.NewKeyed(sys.Seed, xrand.HashString("runnoise"),
 				xrand.HashString(cfg.Bench.Name), uint64(cfg.Modules[rank]), cfg.Nonce)
 			noise[rank] = 1 + rng.TruncNormal(0, noiseSigma, -3, 3)
+		}
+		if in != nil {
+			// A degrading node computes slower than its operating point
+			// implies — invisible to resolution, felt only in timing.
+			noise[rank] *= in.SlowFactor(cfg.Modules[rank])
 		}
 	}
 	arch := sys.Spec.Arch
@@ -330,21 +401,46 @@ func simulate(sys *cluster.System, cfg Config, ops []module.OperatingPoint, prob
 		}
 		return units.Seconds(t * noise[rank])
 	})
-	return simmpi.RunProbed(prog, n, model, cfg.Net, probe)
+	var fs *simmpi.FaultSpec
+	if in != nil {
+		deadAt := make([]units.Seconds, n)
+		any := false
+		for rank := range deadAt {
+			deadAt[rank] = -1
+			if dt, ok := in.DeathTime(cfg.Modules[rank]); ok {
+				deadAt[rank] = dt
+				any = true
+			}
+		}
+		if any {
+			fs = &simmpi.FaultSpec{DeadAt: deadAt}
+		}
+	}
+	return simmpi.RunFaulty(prog, n, model, cfg.Net, probe, fs)
 }
 
 // account converts the DES timing into MSR energy-counter activity and
-// reads the counters back into the result.
+// reads the counters back into the result. With a fault injector installed
+// the poll loop hardens: reads are retried with poll-time backoff, polls
+// that keep failing or report implausible power are dropped (the rank's
+// energies turn partial rather than wrong), cap-enforcement lag adds its
+// overshoot energy to the counters, and a per-rank health verdict is built.
 func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []module.OperatingPoint, sim simmpi.Result) (Result, error) {
 	n := len(cfg.Modules)
+	in := sys.Faults()
+	arch := sys.Spec.Arch
 	ranks, err := parallel.Map(rankWorkers(cfg), n, func(rank int) (RankResult, error) {
 		id := cfg.Modules[rank]
 		ctl := sys.RAPL(id)
 		st := sim.Ranks[rank]
 		// Ranks that finish early sit in the MPI_Finalize barrier (the
 		// PMMD region ends there), busy-polling until the slowest rank
-		// arrives.
+		// arrives. A dead rank instead stops drawing power at its death
+		// time.
 		wait := sim.Elapsed - st.Busy
+		if st.Dead {
+			wait = st.End - st.Busy
+		}
 		if wait < 0 {
 			wait = 0
 		}
@@ -354,17 +450,80 @@ func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []mo
 		// than once per run. Thirty virtual seconds per poll keeps each
 		// delta far below one wrap at any plausible module power.
 		chunks := int(float64(sim.Elapsed)/30) + 1
+		chunkBusy := st.Busy / units.Seconds(chunks)
+		chunkWait := wait / units.Seconds(chunks)
+		chunkDur := float64(chunkBusy + chunkWait)
 		var pkgJ, dramJ units.Joules
+		var dropped, retries int
 		for c := 0; c < chunks; c++ {
+			if in != nil {
+				ctl.Device().SetPollTime(chunkDur * float64(c))
+			}
 			snap, err := ctl.Snapshot()
-			if err != nil {
+			if err != nil && in != nil && errors.Is(err, faults.ErrDropped) {
+				// Bounded retry with poll-time backoff: a transient drop
+				// window may have closed by the next (slightly later) poll.
+				for a := 1; a <= snapshotRetries && err != nil; a++ {
+					faults.MetricRetried.Inc()
+					retries++
+					ctl.Device().SetPollTime(chunkDur*float64(c) + float64(a)*retryBackoff)
+					snap, err = ctl.Snapshot()
+				}
+			}
+			readable := err == nil
+			if err != nil && !errors.Is(err, faults.ErrDropped) {
 				return RankResult{}, err
 			}
-			ctl.AccountEnergy(prof, ops[rank],
-				st.Busy/units.Seconds(chunks), wait/units.Seconds(chunks))
+			if c == 0 && in != nil && cfg.Mode == ModeCapped {
+				// Cap-enforcement lag: the module ran uncapped until the
+				// limit took hold; the counters observe the overshoot.
+				if lag, ok := in.CapLag(id); ok && lag > 0 {
+					if lag > float64(sim.Elapsed) {
+						lag = float64(sim.Elapsed)
+					}
+					unc := sys.Module(id).Uncapped(prof)
+					overPkg := (float64(unc.CPUPower) - float64(ops[rank].CPUPower)) * lag
+					overDram := (float64(unc.DramPower) - float64(ops[rank].DramPower)) * lag
+					if overPkg < 0 {
+						overPkg = 0
+					}
+					if overDram < 0 {
+						overDram = 0
+					}
+					if overPkg > 0 || overDram > 0 {
+						ctl.Device().AccumulateEnergy(overPkg, overDram)
+						faults.CountInjected(faults.KindCapLag)
+					}
+				}
+			}
+			ctl.AccountEnergy(prof, ops[rank], chunkBusy, chunkWait)
+			if !readable {
+				// The poll never succeeded: the chunk's energy stays on the
+				// counters (the next successful poll sees it) but this
+				// rank's observed total goes partial.
+				dropped++
+				continue
+			}
+			if in != nil {
+				ctl.Device().SetPollTime(chunkDur * float64(c+1))
+			}
 			dp, dd, err := ctl.Since(snap)
 			if err != nil {
+				if in != nil && errors.Is(err, faults.ErrDropped) {
+					dropped++
+					continue
+				}
 				return RankResult{}, err
+			}
+			if in != nil && chunkDur > 0 {
+				// Plausibility gate: a spiking counter can report orders of
+				// magnitude more energy than the module can draw. Reject
+				// the delta rather than averaging it in.
+				if (float64(dp)+float64(dd))/chunkDur > implausiblePowerFactor*(float64(arch.TDP)+float64(arch.DramTDP)) {
+					dropped++
+					faults.MetricQuarantined.Inc()
+					continue
+				}
 			}
 			pkgJ += dp
 			dramJ += dd
@@ -375,6 +534,7 @@ func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []mo
 			PkgEnergy: pkgJ, DramEnergy: dramJ,
 			AvgCPUPower:  units.AvgPower(pkgJ, sim.Elapsed),
 			AvgDramPower: units.AvgPower(dramJ, sim.Elapsed),
+			DroppedPolls: dropped, Retries: retries,
 		}, nil
 	})
 	if err != nil {
@@ -389,7 +549,50 @@ func account(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []mo
 	}
 	out.TotalEnergy = units.Joules(totalJ)
 	out.AvgTotalPower = units.AvgPower(out.TotalEnergy, out.Elapsed)
+	if in != nil {
+		out.Health = health(in, cfg, sim, ranks)
+	}
 	return out, nil
+}
+
+// Hardened poll-loop tuning.
+const (
+	// snapshotRetries bounds energy-read retries per poll.
+	snapshotRetries = 3
+	// retryBackoff is the virtual-seconds poll-time shift per retry.
+	retryBackoff = 1.0
+	// implausiblePowerFactor rejects a poll delta implying more than this
+	// multiple of the module's total TDP — far above any real draw, tripped
+	// immediately by a spiked counter.
+	implausiblePowerFactor = 4.0
+)
+
+// health builds the per-rank verdicts, worst applicable fault first. Serial
+// and in rank order, so counters and verdicts are deterministic.
+func health(in *faults.Injector, cfg Config, sim simmpi.Result, ranks []RankResult) []ModuleHealth {
+	out := make([]ModuleHealth, len(ranks))
+	for rank, r := range ranks {
+		h := ModuleHealth{Rank: rank, ModuleID: r.ModuleID, Verdict: VerdictOK}
+		switch {
+		case sim.Ranks[rank].Dead:
+			h.Verdict = VerdictDead
+			h.Detail = fmt.Sprintf("died at t=%.2fs", float64(sim.Ranks[rank].End))
+			faults.MetricDeadRanks.Inc()
+			faults.CountInjected(faults.KindModuleDeath)
+		case r.DroppedPolls > 0 || in.Has(r.ModuleID, faults.KindStuckMSR) ||
+			in.Has(r.ModuleID, faults.KindSpikeMSR) || in.Has(r.ModuleID, faults.KindDropMSR):
+			h.Verdict = VerdictSensorFault
+			h.Detail = fmt.Sprintf("%d polls dropped, %d retried", r.DroppedPolls, r.Retries)
+		case in.Has(r.ModuleID, faults.KindCapDrift) || in.Has(r.ModuleID, faults.KindCapLag):
+			h.Verdict = VerdictCapDrift
+		case in.Has(r.ModuleID, faults.KindThermalThrottle):
+			h.Verdict = VerdictThrottled
+		case in.Has(r.ModuleID, faults.KindSlowNode):
+			h.Verdict = VerdictSlow
+		}
+		out[rank] = h
+	}
+	return out
 }
 
 // rankWorkers resolves the per-rank fan-out width. A module listed twice

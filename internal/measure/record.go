@@ -97,8 +97,13 @@ func (rec *recording) detach(sys *cluster.System) {
 // the caller's goroutine (it writes the capture's serial stores).
 func (rec *recording) finish(sys *cluster.System, cfg Config, prof module.PowerProfile, ops []module.OperatingPoint, sim simmpi.Result) {
 	// Ranks that finished early busy-poll in MPI_Finalize until the
-	// straggler arrives — the visible cost of Vt on the timeline.
+	// straggler arrives — the visible cost of Vt on the timeline. A dead
+	// rank never reaches finalize; it gets a death event instead.
 	for rank, st := range sim.Ranks {
+		if st.Dead {
+			rec.cap.Event(rec.modules[rank], flight.EventModuleDeath, float64(st.End))
+			continue
+		}
 		rec.cap.Interval(rank, rec.modules[rank], -1, flight.PhaseFinalizeWait, st.End, sim.Elapsed)
 	}
 	// Modules duty-cycling below FMin throttle for the whole run.

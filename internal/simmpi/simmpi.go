@@ -138,7 +138,8 @@ func (n Network) collectiveCost(bytes float64, size int) units.Seconds {
 
 // RankStats is the per-rank timing breakdown of a run.
 type RankStats struct {
-	// End is the rank's virtual completion time.
+	// End is the rank's virtual completion time (its death time, for a rank
+	// that died).
 	End units.Seconds
 	// Busy is the time spent computing.
 	Busy units.Seconds
@@ -149,13 +150,74 @@ type RankStats struct {
 	// Sendrecv is the cumulative time inside Sendrecv calls (wait + wire) —
 	// the quantity on the x-axis of the paper's Figure 3.
 	Sendrecv units.Seconds
+	// Dead reports that the rank died mid-run (fault injection); its stats
+	// cover only the portion it survived.
+	Dead bool
 }
 
 // Result is the outcome of a simulated run.
 type Result struct {
 	Ranks []RankStats
-	// Elapsed is the application's completion time: the slowest rank.
+	// Elapsed is the application's completion time: the slowest *surviving*
+	// rank (the slowest rank overall when none survive).
 	Elapsed units.Seconds
+}
+
+// DefaultDeadTimeout is the collective/peer timeout survivors pay per
+// communication round that involves a dead rank, standing in for an MPI
+// fault-tolerance layer's failure detector (ULFM-style revoke+shrink).
+const DefaultDeadTimeout = units.Seconds(1.0)
+
+// FaultSpec injects rank deaths into a run. The simulated runtime detects a
+// dead peer by timeout rather than deadlocking: a Sendrecv against a dead
+// peer completes at the waiter's arrival plus Timeout, and a collective with
+// any dead member completes at the slowest survivor's arrival plus Timeout.
+// A nil *FaultSpec is the healthy run, byte-identical to RunProbed.
+type FaultSpec struct {
+	// DeadAt gives each rank's death time on the run's virtual clock; a
+	// negative entry means the rank never dies. A rank dies when its local
+	// clock crosses the death time during compute (the op is truncated); a
+	// rank blocked in communication at its death time is torn down at the
+	// next round boundary.
+	DeadAt []units.Seconds
+	// Timeout is the failure-detection latency (DefaultDeadTimeout if 0).
+	Timeout units.Seconds
+}
+
+// faultState is the per-run mutable view of a FaultSpec.
+type faultState struct {
+	deadAt  []units.Seconds
+	dead    []bool
+	timeout units.Seconds
+}
+
+func newFaultState(fs *FaultSpec, size int) (*faultState, error) {
+	if fs == nil {
+		return nil, nil
+	}
+	if fs.DeadAt != nil && len(fs.DeadAt) != size {
+		return nil, fmt.Errorf("simmpi: FaultSpec has %d death times for %d ranks", len(fs.DeadAt), size)
+	}
+	st := &faultState{
+		deadAt:  fs.DeadAt,
+		dead:    make([]bool, size),
+		timeout: fs.Timeout,
+	}
+	if st.timeout <= 0 {
+		st.timeout = DefaultDeadTimeout
+	}
+	if st.deadAt == nil {
+		st.deadAt = make([]units.Seconds, size)
+		for i := range st.deadAt {
+			st.deadAt[i] = -1
+		}
+	}
+	return st, nil
+}
+
+// dies reports whether the rank's death time is set and at or before t.
+func (f *faultState) dies(rank int, t units.Seconds) bool {
+	return !f.dead[rank] && f.deadAt[rank] >= 0 && t >= f.deadAt[rank]
 }
 
 // Run executes the program on size ranks against the model and network.
@@ -169,8 +231,19 @@ func Run(p Program, size int, m Model, net Network) (Result, error) {
 // Probe calls are made from this serial loop in deterministic order; the
 // probe cannot change the result.
 func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, error) {
+	return RunFaulty(p, size, m, net, probe, nil)
+}
+
+// RunFaulty is RunProbed under a fault specification: listed ranks die at
+// their appointed times and the run finishes degraded instead of
+// deadlocking. With a nil spec the engine takes the exact healthy path.
+func RunFaulty(p Program, size int, m Model, net Network, probe Probe, fs *FaultSpec) (Result, error) {
 	if size < 1 {
 		return Result{}, fmt.Errorf("simmpi: size %d < 1", size)
+	}
+	fault, err := newFaultState(fs, size)
+	if err != nil {
+		return Result{}, err
 	}
 	res := Result{Ranks: make([]RankStats, size)}
 	t := make([]units.Seconds, size)
@@ -178,11 +251,23 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 	rounds := p.Rounds()
 
 	for r := 0; r < rounds; r++ {
+		// Tear down ranks whose death time passed while they were blocked in
+		// communication: they stop participating from this round on.
+		if fault != nil {
+			for rank := 0; rank < size; rank++ {
+				if fault.dies(rank, t[rank]) {
+					fault.dead[rank] = true
+				}
+			}
+		}
 		proto := p.Round(0, r)
 		switch proto.(type) {
 		case Compute:
 			mRounds["compute"].Inc()
 			for rank := 0; rank < size; rank++ {
+				if fault != nil && fault.dead[rank] {
+					continue
+				}
 				op, ok := p.Round(rank, r).(Compute)
 				if !ok {
 					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
@@ -190,6 +275,16 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 				dt := m.ComputeTime(rank, op.Cycles, op.Bytes)
 				if dt < 0 {
 					return Result{}, fmt.Errorf("simmpi: negative compute time %v at rank %d round %d", dt, rank, r)
+				}
+				if fault != nil && fault.dies(rank, t[rank]+dt) {
+					// The rank dies mid-compute: truncate the op at the
+					// death time and mark the rank down.
+					if da := fault.deadAt[rank]; da > t[rank] {
+						dt = da - t[rank]
+					} else {
+						dt = 0
+					}
+					fault.dead[rank] = true
 				}
 				if probe != nil && dt > 0 {
 					probe.Interval(rank, r, ProbeCompute, t[rank], t[rank]+dt)
@@ -202,17 +297,32 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 			mRounds["sendrecv"].Inc()
 			copy(arrive, t)
 			for rank := 0; rank < size; rank++ {
+				if fault != nil && fault.dead[rank] {
+					continue
+				}
 				op, ok := p.Round(rank, r).(Sendrecv)
 				if !ok {
 					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
 				}
 				start := arrive[rank]
+				deadPeer := false
 				for _, peer := range op.Peers {
 					if peer < 0 || peer >= size {
 						return Result{}, fmt.Errorf("simmpi: rank %d round %d has peer %d outside [0,%d)", rank, r, peer, size)
 					}
+					if fault != nil && fault.dead[peer] {
+						deadPeer = true
+						continue
+					}
 					if arrive[peer] > start {
 						start = arrive[peer]
+					}
+				}
+				if deadPeer {
+					// A dead peer never arrives; the waiter's failure
+					// detector fires Timeout after its own arrival.
+					if to := arrive[rank] + fault.timeout; to > start {
+						start = to
 					}
 				}
 				xfer := net.transfer(op.Bytes)
@@ -244,10 +354,20 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 			mRounds[kind].Inc()
 			copy(arrive, t)
 			var max units.Seconds
+			anyDead := false
 			for rank := 0; rank < size; rank++ {
+				if fault != nil && fault.dead[rank] {
+					anyDead = true
+					continue
+				}
 				if arrive[rank] > max {
 					max = arrive[rank]
 				}
+			}
+			if anyDead {
+				// The collective completes only after the survivors' failure
+				// detector gives up on the dead members.
+				max += fault.timeout
 			}
 			var cost units.Seconds
 			if ar, ok := proto.(Allreduce); ok {
@@ -256,6 +376,9 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 				cost = net.collectiveCost(0, size)
 			}
 			for rank := 0; rank < size; rank++ {
+				if fault != nil && fault.dead[rank] {
+					continue
+				}
 				if _, same := sameKind(proto, p.Round(rank, r)); !same {
 					return Result{}, kindMismatch(r, rank, proto, p.Round(rank, r))
 				}
@@ -282,13 +405,34 @@ func RunProbed(p Program, size int, m Model, net Network, probe Probe) (Result, 
 		}
 	}
 
+	// A rank whose death time falls after its last op still counts as dead
+	// only if the clock reached it; sweep once more so deaths scheduled
+	// before the run's end are all reflected.
+	if fault != nil {
+		for rank := 0; rank < size; rank++ {
+			if fault.dies(rank, t[rank]) {
+				fault.dead[rank] = true
+			}
+		}
+	}
+	var maxAny units.Seconds
 	for rank := 0; rank < size; rank++ {
 		res.Ranks[rank].End = t[rank]
-		if t[rank] > res.Elapsed {
+		if fault != nil && fault.dead[rank] {
+			res.Ranks[rank].Dead = true
+		}
+		if t[rank] > maxAny {
+			maxAny = t[rank]
+		}
+		if !res.Ranks[rank].Dead && t[rank] > res.Elapsed {
 			res.Elapsed = t[rank]
 		}
 		mRankBusy.Observe(float64(res.Ranks[rank].Busy))
 		mRankWait.Observe(float64(res.Ranks[rank].Wait))
+	}
+	if res.Elapsed == 0 && fault != nil {
+		// Every rank died: report the last death as completion.
+		res.Elapsed = maxAny
 	}
 	return res, nil
 }
