@@ -14,7 +14,9 @@
 package varpower_test
 
 import (
+	"context"
 	"io"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -24,6 +26,8 @@ import (
 	"varpower/internal/hw/rapl"
 	"varpower/internal/overprov"
 	"varpower/internal/sched"
+	"varpower/internal/service"
+	"varpower/internal/service/client"
 	"varpower/internal/units"
 	"varpower/internal/workload"
 )
@@ -533,6 +537,46 @@ func BenchmarkExtensionOverprovisioning(b *testing.B) {
 		b.ReportMetric(float64(res.BestPoint().Modules), "optimal-modules")
 		b.ReportMetric(float64(res.BestPoint().Elapsed), "best-elapsed-s")
 	}
+}
+
+// --- Serving (internal/service) -----------------------------------------------
+
+// BenchmarkServeSolve measures the varpowerd serving hot path through the
+// full HTTP stack: POST /v1/solve answered from the rendered-bytes cache
+// ("hot") versus a unique-seed request that instantiates and calibrates a
+// fresh system replica each time ("cold"). The hot/cold ns_op ratio in
+// BENCH.json is the cache's tracked throughput win.
+func BenchmarkServeSolve(b *testing.B) {
+	srv, err := service.New(service.Config{Systems: []string{"HA8K"}, Modules: 32, Seed: 0x5c15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+	ctx := context.Background()
+	req := service.SolveRequest{System: "HA8K", Workload: "dgemm", Scheme: "vapc", BudgetWatts: 2400}
+
+	b.Run("hot", func(b *testing.B) {
+		if _, _, err := c.Solve(ctx, req); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Seed = 1<<40 + uint64(i) // unique seed: full replica build + calibration
+			if _, _, err := c.Solve(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func floatName(prefix string, v float64) string {

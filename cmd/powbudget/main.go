@@ -138,12 +138,7 @@ func runSweep(benchName, budgetStr string, refModules int, sweep string, seed ui
 }
 
 func parseScheme(s string) (core.Scheme, error) {
-	for _, sc := range core.AllSchemes() {
-		if strings.EqualFold(sc.String(), s) {
-			return sc, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
+	return core.SchemeByName(s)
 }
 
 func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show, workers int, obs *cliutil.Obs) error {

@@ -1,0 +1,187 @@
+// Command varpowerd serves varpower's power-management control plane: the
+// daemon instantiates the configured system presets at startup (install-time
+// PVT calibration included), then answers budgeting questions over a JSON
+// HTTP API — the per-job α-solve a resource manager calls at submission
+// time, plus full simulated runs through a bounded job queue.
+//
+// Usage:
+//
+//	varpowerd [-addr HOST:PORT] [-addr-file FILE] [-systems a,b,...]
+//	          [-modules N] [-seed S] [-workers W] [-queue N]
+//	          [-job-workers N] [-cache N] [-selftest]
+//	          [-metrics FILE] [-telemetry] [-quiet] [-v]
+//
+// Endpoints (see internal/service):
+//
+//	GET  /healthz        liveness, uptime, queue depth
+//	GET  /v1/systems     loaded presets
+//	GET  /v1/pvt/{sys}   a system's Power Variation Table
+//	POST /v1/solve       budget solve (cached, coalesced)
+//	POST /v1/jobs        enqueue a simulated run (429 + Retry-After when full)
+//	GET  /v1/jobs/{id}   job status / result
+//	GET  /v1/metrics     telemetry registry (?format=prom|json|csv)
+//	/debug/...           pprof and expvar
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: the listener stops
+// accepting and in-flight responses finish, queued and running jobs run to
+// completion (bounded by -drain-timeout), telemetry flushes (-metrics), and
+// the process exits 0.
+//
+// -selftest starts an in-process instance, runs the load generator against
+// it (cold unique-seed solves, then a repeated-key hammer from N
+// goroutines), prints both phases' throughput and the cache speedup, and
+// exits nonzero if the speedup is below 5× — the serving layer's acceptance
+// gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"varpower/internal/cliutil"
+	"varpower/internal/service"
+	"varpower/internal/service/loadgen"
+	"varpower/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		systems      = flag.String("systems", "", "comma-separated system presets to load (default: all; see /v1/systems)")
+		modules      = flag.Int("modules", 0, "modules instantiated per system (0 = 192, clamped to each preset's total)")
+		seed         = flag.Uint64("seed", 0, "serving seed for the owned systems (0 = 0x5c15)")
+		workers      = flag.Int("workers", 0, "per-module fan-out width for calibration (0 = GOMAXPROCS)")
+		queueSize    = flag.Int("queue", 0, "job queue capacity (0 = 64); a full queue answers 429 + Retry-After")
+		jobWorkers   = flag.Int("job-workers", 0, "job executor pool width (0 = 2)")
+		cacheSize    = flag.Int("cache", 0, "solve/PMT cache capacity in entries (0 = 4096)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight requests and queued jobs")
+		selftest     = flag.Bool("selftest", false, "start an in-process instance, run the load generator against it, and exit (nonzero unless cache speedup >= 5x)")
+		selfN        = flag.Int("selftest-requests", 2000, "hot-phase request count for -selftest")
+		selfC        = flag.Int("selftest-clients", 8, "client goroutines for -selftest")
+		obs          = cliutil.AddFlags(flag.CommandLine)
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "varpowerd:", err)
+		os.Exit(1)
+	}
+	if err := obs.Start("varpowerd"); err != nil {
+		fail(err)
+	}
+
+	cfg := service.Config{
+		Modules:    *modules,
+		Seed:       *seed,
+		Workers:    *workers,
+		QueueSize:  *queueSize,
+		JobWorkers: *jobWorkers,
+		CacheSize:  *cacheSize,
+	}
+	if *systems != "" {
+		for _, s := range strings.Split(*systems, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Systems = append(cfg.Systems, s)
+			}
+		}
+	} else if *selftest {
+		// The self-test only hammers one preset; skip calibrating the rest.
+		cfg.Systems = []string{"HA8K"}
+	}
+
+	obs.Infof("calibrating %d-module systems (seed %#x)...", cfgModules(cfg), cfgSeed(cfg))
+	buildStart := time.Now()
+	srv, err := service.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	obs.Infof("calibration done in %s", time.Since(buildStart).Round(time.Millisecond))
+
+	hs, err := telemetry.StartServer(*addr, srv.Handler())
+	if err != nil {
+		fail(err)
+	}
+	obs.Infof("serving on http://%s (POST /v1/solve, GET /healthz)", hs.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(hs.Addr()+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	var runErr error
+	if *selftest {
+		runErr = runSelftest(hs.Addr(), *selfN, *selfC)
+		shutdown(hs, srv, *drainTimeout, obs)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		s := <-sig
+		obs.Infof("received %v, draining...", s)
+		shutdown(hs, srv, *drainTimeout, obs)
+	}
+
+	// Close flushes -metrics after the drain, so the dump includes the final
+	// request and queue counters.
+	if cerr := obs.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fail(runErr)
+	}
+}
+
+// shutdown runs the graceful drain sequence: listener first (stop accepting,
+// finish in-flight responses), then the job queue (finish queued and running
+// jobs), each bounded by the drain timeout.
+func shutdown(hs *telemetry.Server, srv *service.Server, timeout time.Duration, obs *cliutil.Obs) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		obs.Infof("listener shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		obs.Infof("queue drain: %v", err)
+	}
+	obs.Infof("drained cleanly")
+}
+
+// runSelftest hammers the live instance through the public client and
+// enforces the >= 5x cache-speedup acceptance gate.
+func runSelftest(addr string, hotRequests, clients int) error {
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:     "http://" + addr,
+		Concurrency: clients,
+		HotRequests: hotRequests,
+	})
+	if err != nil {
+		return err
+	}
+	loadgen.WriteReport(os.Stdout, rep)
+	if s := rep.Speedup(); s < 5 {
+		return fmt.Errorf("selftest: cache speedup %.1fx below the 5x gate", s)
+	}
+	fmt.Println("selftest: PASS")
+	return nil
+}
+
+// cfgModules reports the effective module count (mirrors Config defaulting).
+func cfgModules(c service.Config) int {
+	if c.Modules == 0 {
+		return 192
+	}
+	return c.Modules
+}
+
+// cfgSeed reports the effective serving seed (mirrors Config defaulting).
+func cfgSeed(c service.Config) uint64 {
+	if c.Seed == 0 {
+		return 0x5c15
+	}
+	return c.Seed
+}

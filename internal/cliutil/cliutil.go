@@ -49,7 +49,7 @@ type Obs struct {
 	cmd       string
 	recorder  *flight.Recorder
 	faultPlan *faults.Plan
-	stopHTTP  func() error
+	httpSrv   *telemetry.Server
 	progMu    sync.Mutex
 	progLast  time.Time
 	progStage string
@@ -93,22 +93,23 @@ func (o *Obs) Start(cmd string) error {
 		o.recorder = flight.New(flight.Config{Hz: o.recordHz})
 	}
 	if o.httpAddr != "" {
-		addr, stop, err := telemetry.Serve(o.httpAddr, telemetry.Default(), telemetry.DefaultTracer())
+		srv, err := telemetry.StartServer(o.httpAddr, telemetry.DebugMux(telemetry.Default(), telemetry.DefaultTracer()))
 		if err != nil {
 			return err
 		}
-		o.stopHTTP = stop
-		o.Infof("serving debug endpoint on http://%s/metrics", addr)
+		o.httpSrv = srv
+		o.Infof("serving debug endpoint on http://%s/metrics", srv.Addr())
 	}
 	return nil
 }
 
 // Close flushes the run's telemetry: the -metrics file, the -telemetry
-// span summary, and the HTTP server shutdown. Safe to call exactly once,
-// typically deferred right after Start.
+// span summary, and a graceful HTTP server shutdown (in-flight scrapes
+// complete, the port is released). Safe to call exactly once, typically
+// deferred right after Start.
 func (o *Obs) Close() error {
-	if o.stopHTTP != nil {
-		_ = o.stopHTTP()
+	if o.httpSrv != nil {
+		_ = o.httpSrv.Close()
 	}
 	if o.spans && !o.quiet {
 		tr := telemetry.DefaultTracer()

@@ -79,7 +79,7 @@ func TestHTTPEndpointServesMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	if o.stopHTTP == nil {
+	if o.httpSrv == nil {
 		t.Fatal("HTTP server not started")
 	}
 }

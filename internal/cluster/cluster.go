@@ -20,6 +20,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"varpower/internal/faults"
 	"varpower/internal/hw/cpufreq"
@@ -347,4 +348,25 @@ func Teller() Spec {
 // Presets returns all four Table-2 systems in the paper's order.
 func Presets() []Spec {
 	return []Spec{Cab(), Vulcan(), Teller(), HA8K()}
+}
+
+// SpecByName resolves a preset by name, case-insensitively; "BG/Q Vulcan"
+// also answers to the bare "vulcan". This is the lookup API consumers (the
+// varpowerd control plane, scripts) use, so unknown names report the valid
+// vocabulary.
+func SpecByName(name string) (Spec, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range Presets() {
+		if strings.ToLower(s.Name) == want {
+			return s, nil
+		}
+	}
+	if want == "vulcan" {
+		return Vulcan(), nil
+	}
+	var names []string
+	for _, s := range Presets() {
+		names = append(names, s.Name)
+	}
+	return Spec{}, fmt.Errorf("cluster: unknown system %q (have %v)", name, names)
 }

@@ -203,3 +203,28 @@ func TestHA8KPopulationStatistics(t *testing.T) {
 		t.Errorf("leak factor mean %v, want ≈ 1", lm)
 	}
 }
+
+func TestSpecByName(t *testing.T) {
+	for _, c := range []struct {
+		in, want string
+	}{
+		{"HA8K", "HA8K"},
+		{"ha8k", "HA8K"},
+		{"cab", "Cab"},
+		{"teller", "Teller"},
+		{"vulcan", "BG/Q Vulcan"},
+		{"BG/Q Vulcan", "BG/Q Vulcan"},
+		{" ha8k ", "HA8K"},
+	} {
+		s, err := SpecByName(c.in)
+		if err != nil {
+			t.Fatalf("SpecByName(%q): %v", c.in, err)
+		}
+		if s.Name != c.want {
+			t.Fatalf("SpecByName(%q) = %q, want %q", c.in, s.Name, c.want)
+		}
+	}
+	if _, err := SpecByName("summit"); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"varpower/internal/hw/module"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// PredictTime estimates the application's elapsed time under an allocation
+// without simulating it: iterations × the per-iteration sequential time at
+// the α-derived common frequency (quantised down to a real P-state for FS
+// schemes, which pin clocks; PC schemes target the continuous frequency the
+// cap realises on an average module). Synchronisation waits and per-rank
+// imbalance are deliberately excluded — this is the solver-facing estimate a
+// control plane returns at job-submission time, the model-level counterpart
+// of the measured Result.Elapsed a full run produces.
+//
+// Infeasible allocations predict +Inf-like sentinel times through
+// SequentialTime's guard; callers surface Feasible alongside the estimate.
+func PredictTime(bench *workload.Benchmark, arch *module.Arch, alloc *Allocation, scheme Scheme) units.Seconds {
+	f := alloc.Freq
+	if scheme.UsesFS() {
+		f = arch.QuantizeDown(f)
+	}
+	per := bench.SequentialTime(arch, f, 1)
+	return units.Seconds(float64(bench.Iterations) * float64(per))
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scheme identifies one of the six power allocation schemes evaluated in
 // the paper (Section 6).
@@ -29,6 +32,21 @@ const (
 
 // AllSchemes lists the schemes in the paper's legend order.
 func AllSchemes() []Scheme { return []Scheme{Naive, Pc, VaPcOr, VaPc, VaFsOr, VaFs} }
+
+// SchemeByName resolves a scheme from its paper name, case-insensitively.
+func SchemeByName(name string) (Scheme, error) {
+	name = strings.TrimSpace(name)
+	for _, sc := range AllSchemes() {
+		if strings.EqualFold(sc.String(), name) {
+			return sc, nil
+		}
+	}
+	names := make([]string, 0, len(AllSchemes()))
+	for _, sc := range AllSchemes() {
+		names = append(names, sc.String())
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(names, ", "))
+}
 
 // String returns the paper's name for the scheme.
 func (s Scheme) String() string {

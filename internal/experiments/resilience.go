@@ -28,36 +28,12 @@ var ResilienceCs = units.Watts(80 * 1920)
 // so windows and deaths placed inside this horizon land mid-run.
 const resilienceHorizon = 10
 
-// resilienceRates returns the generated fault-level ladder: probabilities
-// are per-module incidences, so expected fault counts scale with the module
-// count.
-func resilienceRates() []struct {
-	Name string
-	Spec faults.RateSpec
-} {
-	return []struct {
-		Name string
-		Spec faults.RateSpec
-	}{
-		{Name: "none", Spec: faults.RateSpec{}},
-		{Name: "low", Spec: faults.RateSpec{
-			StuckMSR: 0.01, SpikeMSR: 0.01, DropMSR: 0.01,
-			CapDrift: 0.01, SlowNode: 0.01, ModuleDeath: 0.01,
-			Horizon: resilienceHorizon,
-		}},
-		{Name: "medium", Spec: faults.RateSpec{
-			StuckMSR: 0.03, SpikeMSR: 0.03, DropMSR: 0.03,
-			CapDrift: 0.03, CapLag: 0.02, ThermalThrottle: 0.02,
-			SlowNode: 0.03, ModuleDeath: 0.03,
-			Horizon: resilienceHorizon,
-		}},
-		{Name: "high", Spec: faults.RateSpec{
-			StuckMSR: 0.06, SpikeMSR: 0.06, DropMSR: 0.06,
-			CapDrift: 0.06, CapLag: 0.04, ThermalThrottle: 0.04,
-			SlowNode: 0.06, ModuleDeath: 0.06,
-			Horizon: resilienceHorizon,
-		}},
-	}
+// resilienceRates returns the generated fault-level ladder — the shared
+// faults.Ladder vocabulary, placed inside this experiment's horizon.
+// Probabilities are per-module incidences, so expected fault counts scale
+// with the module count.
+func resilienceRates() []faults.Level {
+	return faults.Ladder(resilienceHorizon)
 }
 
 // ResilienceCell is one (fault level, scheme) evaluation.

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"sync"
+
+	"varpower/internal/telemetry"
+)
+
+// Cache-layer telemetry: hits, misses and coalesced waits per cache (the
+// rendered-response cache and the calibrated-PMT cache), so the serving hot
+// path's effectiveness is visible on /v1/metrics without scraping logs.
+func cacheCounters(cache string) (hits, misses, coalesced *telemetry.Counter) {
+	reg := telemetry.Default()
+	l := telemetry.Labels{"cache": cache}
+	hits = reg.Counter("varpower_solve_cache_hits_total",
+		"Solve-path cache lookups answered from a completed entry.", l)
+	misses = reg.Counter("varpower_solve_cache_misses_total",
+		"Solve-path cache lookups that had to compute.", l)
+	coalesced = reg.Counter("varpower_solve_cache_coalesced_total",
+		"Solve-path cache lookups that waited on an identical in-flight compute.", l)
+	return
+}
+
+// flightCache is a content-keyed cache with singleflight coalescing: for any
+// key, at most one compute runs at a time; callers that arrive while it is
+// in flight block on its completion and share the result instead of
+// recomputing. Completed successful results are retained (bounded FIFO), so
+// repeated identical requests are a map lookup; errors are never cached —
+// the entry is removed and the next caller retries.
+//
+// The combination is what the serving hot path needs: without coalescing, a
+// thundering herd of identical cold requests each pays the full solve;
+// without retention, every request does.
+type flightCache[V any] struct {
+	name string
+	cap  int // max retained entries; <= 0 means unbounded
+
+	mu      sync.Mutex
+	entries map[string]*flightEntry[V]
+	order   []string // insertion order of retained keys, for FIFO eviction
+
+	mHits, mMisses, mCoalesced *telemetry.Counter
+
+	// stats mirror the telemetry counters process-locally so tests and the
+	// self-test report can assert on this cache instance alone (the global
+	// registry accumulates across servers).
+	stats CacheStats
+}
+
+// flightEntry is one key's slot: done closes when the compute finishes.
+type flightEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// CacheStats is a point-in-time snapshot of one cache's counters.
+type CacheStats struct {
+	Hits, Misses, Coalesced, Evicted int64
+}
+
+// newFlightCache builds a cache retaining at most cap completed entries.
+func newFlightCache[V any](name string, cap int) *flightCache[V] {
+	c := &flightCache[V]{name: name, cap: cap, entries: make(map[string]*flightEntry[V])}
+	c.mHits, c.mMisses, c.mCoalesced = cacheCounters(name)
+	return c
+}
+
+// Disposition labels how a Do call was satisfied (exported in the
+// X-Varpower-Cache response header).
+type Disposition string
+
+// Do dispositions.
+const (
+	DispHit       Disposition = "hit"
+	DispMiss      Disposition = "miss"
+	DispCoalesced Disposition = "coalesced"
+)
+
+// Do returns the cached value for key, computing it via fn on a miss.
+// Concurrent callers with the same key during the compute wait for it and
+// share its outcome (including its error). fn runs without the cache lock
+// held, so unrelated keys never serialise on each other.
+func (c *flightCache[V]) Do(key string, fn func() (V, error)) (V, error, Disposition) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done: // completed: a retained success
+			c.stats.Hits++
+			c.mu.Unlock()
+			c.mHits.Inc()
+			return e.val, e.err, DispHit
+		default: // in flight: coalesce
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			c.mCoalesced.Inc()
+			<-e.done
+			return e.val, e.err, DispCoalesced
+		}
+	}
+	e := &flightEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+	c.mMisses.Inc()
+
+	e.val, e.err = fn()
+	c.mu.Lock()
+	if e.err != nil {
+		// Errors are not cacheable state: drop the entry so the next caller
+		// retries instead of replaying a transient failure forever.
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		for c.cap > 0 && len(c.order) > c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			// Only evict if the slot still holds a completed entry (it
+			// cannot be mid-flight: in-flight entries are not in order).
+			delete(c.entries, oldest)
+			c.stats.Evicted++
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.val, e.err, DispMiss
+}
+
+// Stats snapshots the cache's counters.
+func (c *flightCache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of retained (completed) entries.
+func (c *flightCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}

@@ -1,0 +1,195 @@
+// Package client is the Go client for varpowerd's JSON API. It is the
+// programmatic face of the control plane: the load generator uses it to
+// hammer /v1/solve, tests use it against httptest servers, and a resource
+// manager embedding varpower would use it the same way.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"varpower/internal/service"
+)
+
+// Client talks to one varpowerd instance.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// HTTPClient defaults to a dedicated client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// New builds a client for the daemon at baseURL. The transport keeps enough
+// idle connections per host for a concurrent load generator — the stdlib
+// default of 2 would re-dial under fan-out and measure connection setup
+// instead of the serving hot path.
+func New(baseURL string) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 128
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 30 * time.Second, Transport: tr},
+	}
+}
+
+// do issues one request and decodes the response into out (unless nil).
+// Non-2xx responses decode the structured error body into a *service.APIError.
+// The response's X-Varpower-Cache header (empty when absent) is returned so
+// callers can observe cache dispositions.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) (string, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return "", fmt.Errorf("client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return "", fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	disp := resp.Header.Get("X-Varpower-Cache")
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return disp, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr service.APIError
+		if jsonErr := json.Unmarshal(raw, &apiErr); jsonErr == nil && apiErr.Err.Status != 0 {
+			// Preserve Retry-After as part of the error for 429 handling.
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				apiErr.Err.Message += " (Retry-After: " + ra + "s)"
+			}
+			return disp, &apiErr
+		}
+		return disp, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return disp, fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return disp, nil
+}
+
+// Healthz fetches /healthz.
+func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Systems fetches the loaded preset list.
+func (c *Client) Systems(ctx context.Context) ([]map[string]any, error) {
+	var out struct {
+		Systems []map[string]any `json:"systems"`
+	}
+	_, err := c.do(ctx, http.MethodGet, "/v1/systems", nil, &out)
+	return out.Systems, err
+}
+
+// PVT fetches a system's Power Variation Table as raw JSON.
+func (c *Client) PVT(ctx context.Context, system string) (json.RawMessage, error) {
+	var out json.RawMessage
+	_, err := c.do(ctx, http.MethodGet, "/v1/pvt/"+system, nil, &out)
+	return out, err
+}
+
+// Solve posts one budget solve and returns the allocation plus the cache
+// disposition ("hit", "miss" or "coalesced") the server answered with.
+func (c *Client) Solve(ctx context.Context, req service.SolveRequest) (*service.SolveResponse, string, error) {
+	var out service.SolveResponse
+	disp, err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out)
+	if err != nil {
+		return nil, disp, err
+	}
+	return &out, disp, nil
+}
+
+// SubmitJob enqueues a full simulated run, returning its queued status.
+func (c *Client) SubmitJob(ctx context.Context, req service.SolveRequest) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if _, err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*service.JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == service.JobDone || st.State == service.JobFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Metrics fetches /v1/metrics in the given format ("prom", "json" or "csv";
+// empty means the Prometheus text default).
+func (c *Client) Metrics(ctx context.Context, format string) (string, error) {
+	path := "/v1/metrics"
+	if format != "" {
+		path += "?format=" + format
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return "", err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,6 @@
+package service
+
+// SetTestHookBeforeJob installs a hook run at the start of every job
+// execution. Test-only: the queue-full test uses it to hold the executor
+// while it fills the queue.
+func (s *Server) SetTestHookBeforeJob(f func()) { s.testHookBeforeJob = f }

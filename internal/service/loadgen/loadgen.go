@@ -1,0 +1,207 @@
+// Package loadgen hammers a varpowerd instance through the Go client and
+// reports achieved throughput and cache effectiveness. It is the proof
+// behind the serving layer's headline claim: content-keyed caching plus
+// singleflight coalescing turn the per-request α-solve from a
+// calibration-bound compute into a map lookup, so repeated-key throughput is
+// a large multiple of cold-solve throughput.
+//
+// It runs two phases against POST /v1/solve:
+//
+//   - cold: every request carries a unique seed, so each one instantiates
+//     and calibrates a fresh system replica — the uncached worst case;
+//   - hot: N goroutines all request the same key, so after the first miss
+//     (or a coalesced wait) every answer is served from the rendered-bytes
+//     cache.
+//
+// The report compares the two phases' RPS and counts dispositions from the
+// X-Varpower-Cache header, so the ≥5× acceptance criterion is measured at
+// the client, through the full HTTP stack, not inferred from server
+// internals.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"varpower/internal/service"
+	"varpower/internal/service/client"
+)
+
+// Options parameterises a load test.
+type Options struct {
+	// BaseURL is the daemon under test.
+	BaseURL string
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// ColdRequests is the unique-seed request count (default 8).
+	ColdRequests int
+	// HotRequests is the repeated-key request count (default 2000).
+	HotRequests int
+	// Request is the solve the hot phase repeats; zero value selects a
+	// default (HA8K, *DGEMM, VaPc, 20 kW).
+	Request service.SolveRequest
+	// ColdSeedBase offsets the unique seeds of the cold phase so repeated
+	// runs against one daemon stay cold (default 1<<32).
+	ColdSeedBase uint64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.ColdRequests <= 0 {
+		o.ColdRequests = 8
+	}
+	if o.HotRequests <= 0 {
+		o.HotRequests = 2000
+	}
+	if o.Request.System == "" {
+		o.Request = service.SolveRequest{
+			System:      "HA8K",
+			Workload:    "*DGEMM",
+			Scheme:      "VaPc",
+			BudgetWatts: 20000,
+		}
+	}
+	if o.ColdSeedBase == 0 {
+		o.ColdSeedBase = 1 << 32
+	}
+	return o
+}
+
+// PhaseReport is one phase's outcome.
+type PhaseReport struct {
+	Requests  int
+	Errors    int
+	Elapsed   time.Duration
+	RPS       float64
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+}
+
+// HitRate is the fraction of requests answered from a completed cache entry.
+func (p PhaseReport) HitRate() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Requests)
+}
+
+// Report is a full load-test outcome.
+type Report struct {
+	Cold PhaseReport
+	Hot  PhaseReport
+}
+
+// Speedup is hot RPS over cold RPS — the cache's measured throughput win.
+func (r Report) Speedup() float64 {
+	if r.Cold.RPS <= 0 {
+		return 0
+	}
+	return r.Hot.RPS / r.Cold.RPS
+}
+
+// Run executes the two phases and returns the report. Any request error
+// fails the run (a load test against a misconfigured daemon should be loud,
+// not averaged away).
+func Run(ctx context.Context, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	c := client.New(opts.BaseURL)
+
+	// Cold phase: unique seed per request, fanned across the same goroutine
+	// count as the hot phase so the comparison is apples to apples.
+	cold, err := phase(ctx, c, opts.Concurrency, opts.ColdRequests, func(i int) service.SolveRequest {
+		req := opts.Request
+		req.Seed = opts.ColdSeedBase + uint64(i)
+		return req
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: cold phase: %w", err)
+	}
+
+	// Hot phase: one fixed key from every goroutine.
+	hot, err := phase(ctx, c, opts.Concurrency, opts.HotRequests, func(int) service.SolveRequest {
+		return opts.Request
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: hot phase: %w", err)
+	}
+	return Report{Cold: cold, Hot: hot}, nil
+}
+
+// phase issues n requests across `workers` goroutines, counting dispositions.
+func phase(ctx context.Context, c *client.Client, workers, n int, reqFor func(i int) service.SolveRequest) (PhaseReport, error) {
+	var (
+		next               atomic.Int64
+		hits, misses, coal atomic.Int64
+		firstErr           error
+		errMu              sync.Mutex
+		wg                 sync.WaitGroup
+		errs               atomic.Int64
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				_, disp, err := c.Solve(ctx, reqFor(i))
+				if err != nil {
+					errs.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				switch service.Disposition(disp) {
+				case service.DispHit:
+					hits.Add(1)
+				case service.DispCoalesced:
+					coal.Add(1)
+				default:
+					misses.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep := PhaseReport{
+		Requests:  n,
+		Errors:    int(errs.Load()),
+		Elapsed:   elapsed,
+		Hits:      hits.Load(),
+		Misses:    misses.Load(),
+		Coalesced: coal.Load(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.RPS = float64(n-rep.Errors) / s
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	return rep, nil
+}
+
+// WriteReport renders the report for humans (the -selftest output).
+func WriteReport(w io.Writer, r Report) {
+	fmt.Fprintf(w, "cold:  %5d requests in %8s  →  %10.1f req/s  (miss=%d coalesced=%d hit=%d)\n",
+		r.Cold.Requests, r.Cold.Elapsed.Round(time.Millisecond), r.Cold.RPS,
+		r.Cold.Misses, r.Cold.Coalesced, r.Cold.Hits)
+	fmt.Fprintf(w, "hot:   %5d requests in %8s  →  %10.1f req/s  (miss=%d coalesced=%d hit=%d, hit rate %.1f%%)\n",
+		r.Hot.Requests, r.Hot.Elapsed.Round(time.Millisecond), r.Hot.RPS,
+		r.Hot.Misses, r.Hot.Coalesced, r.Hot.Hits, 100*r.Hot.HitRate())
+	fmt.Fprintf(w, "cache speedup: %.1f× (hot RPS / cold RPS)\n", r.Speedup())
+}

@@ -1,0 +1,610 @@
+// Package service is varpower's served control plane: the paper's framework
+// is a once-per-system calibration (the PVT) plus a per-job α-solve
+// (Equations 6–7), which is exactly the shape of a service a resource
+// manager calls at job-submission time — the RMAP integration the paper's
+// Section 7 anticipates. The daemon (cmd/varpowerd) owns cluster state —
+// instantiated system presets, their install-time PVTs, calibrated
+// per-workload PMTs — and serves it over a dependency-free net/http JSON
+// API:
+//
+//	GET  /healthz        liveness and queue depth
+//	GET  /v1/systems     the loaded system presets
+//	GET  /v1/pvt/{sys}   a system's Power Variation Table
+//	POST /v1/solve       budget solve → per-module allocations, α, time
+//	POST /v1/jobs        enqueue a full simulated run (bounded queue)
+//	GET  /v1/jobs/{id}   job status / result polling
+//	GET  /v1/metrics     the telemetry registry (Prometheus/JSON/CSV)
+//
+// The hot path gets production treatment: solve responses are cached as
+// rendered bytes under a content key (system, workload, budget, scheme,
+// seed, modules, faults) with singleflight coalescing, so concurrent
+// identical solves compute once and identical requests return byte-identical
+// bodies; calibrated PMTs are cached one level down so budget sweeps over
+// one workload recalibrate nothing; the job queue is bounded and sheds load
+// with 429 + Retry-After instead of building unbounded backlog; and
+// everything the determinism contract requires still holds — a solve's body
+// depends only on its request, never on worker counts, cache state, or
+// arrival order.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/faults"
+	"varpower/internal/telemetry"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// HTTP-layer telemetry: request counts by route and status code, latency
+// histograms by route, and an in-flight gauge. Routes are the fixed
+// patterns, never raw paths, so cardinality is bounded.
+var (
+	mHTTPInflight = telemetry.Default().Gauge("varpower_http_inflight",
+		"HTTP requests currently being served.", nil)
+)
+
+// httpLatencyBuckets spans sub-millisecond cache hits to multi-second cold
+// calibrations.
+var httpLatencyBuckets = telemetry.ExpBuckets(100e-6, 2.51, 16)
+
+// Config parameterises a Server.
+type Config struct {
+	// Systems lists preset names to load (see cluster.SpecByName); empty
+	// loads all four Table-2 machines.
+	Systems []string
+	// Modules is how many modules to instantiate per system, clamped to each
+	// spec's total; 0 selects 192 — large enough for meaningful population
+	// statistics, small enough that startup calibration is fast.
+	Modules int
+	// Seed is the serving seed: the systems the daemon owns are instantiated
+	// and calibrated at this seed, and requests that omit seed use it.
+	Seed uint64
+	// Workers bounds each framework's per-module fan-out (0 = GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the job queue (default 64).
+	QueueSize int
+	// JobWorkers is the executor pool width (default 2).
+	JobWorkers int
+	// CacheSize bounds each cache's retained entries (default 4096).
+	CacheSize int
+	// FaultHorizon is the virtual-seconds horizon for named fault levels
+	// (default 10, matching the resilience experiment).
+	FaultHorizon float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if len(c.Systems) == 0 {
+		for _, s := range cluster.Presets() {
+			c.Systems = append(c.Systems, s.Name)
+		}
+	}
+	if c.Modules == 0 {
+		c.Modules = 192
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5c15
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 64
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = 2
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.FaultHorizon == 0 {
+		c.FaultHorizon = 10
+	}
+	return c
+}
+
+// baseSystem is one owned preset: the instantiated machine and its
+// install-time framework (PVT included). The base system is never run
+// directly — solves and jobs clone it so concurrent requests cannot clobber
+// each other's RAPL limits and pinned frequencies.
+type baseSystem struct {
+	spec cluster.Spec
+	fw   *core.Framework
+}
+
+// calibration is a PMT-cache value: the calibrated table plus the PVT
+// quarantine list it was built against.
+type calibration struct {
+	pmt         *core.PMT
+	quarantined []int
+}
+
+// Server is the control plane's state and handler set.
+type Server struct {
+	cfg   Config
+	base  map[string]*baseSystem // key: lower-cased preset name
+	names []string               // canonical preset names, load order
+
+	solves *flightCache[[]byte]
+	pmts   *flightCache[calibration]
+	queue  *jobQueue
+
+	mux   *http.ServeMux
+	start time.Time
+
+	// testHookBeforeJob, when set, runs at the start of every job execution;
+	// the queue tests use it to hold executors while they fill the queue.
+	testHookBeforeJob func()
+}
+
+// New instantiates the server's cluster state: every configured preset is
+// built at the serving seed and PVT-calibrated (the install-time step).
+// This is the slow part of startup — milliseconds per 192-module system —
+// and never recurs while serving.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		base:   make(map[string]*baseSystem),
+		solves: newFlightCache[[]byte]("solve", cfg.CacheSize),
+		pmts:   newFlightCache[calibration]("pmt", cfg.CacheSize),
+		queue:  newJobQueue(cfg.QueueSize, cfg.JobWorkers),
+		start:  time.Now(),
+	}
+	for _, name := range cfg.Systems {
+		spec, err := cluster.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(spec.Name)
+		if _, dup := s.base[key]; dup {
+			continue
+		}
+		n := cfg.Modules
+		if total := spec.TotalModules(); n > total {
+			n = total
+		}
+		sys, err := cluster.New(spec, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := core.NewFrameworkWorkers(sys, nil, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
+		}
+		s.base[key] = &baseSystem{spec: spec, fw: fw}
+		s.names = append(s.names, spec.Name)
+	}
+	s.queue.run = s.runJob
+	s.queue.start()
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the daemon's full route set, including the telemetry
+// debug subtree (/debug/pprof, /debug/vars).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SolveCacheStats snapshots the rendered-response cache's counters.
+func (s *Server) SolveCacheStats() CacheStats { return s.solves.Stats() }
+
+// PMTCacheStats snapshots the calibration cache's counters.
+func (s *Server) PMTCacheStats() CacheStats { return s.pmts.Stats() }
+
+// routes wires the endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /v1/systems", s.instrument("/v1/systems", s.handleSystems))
+	mux.Handle("GET /v1/pvt/{system}", s.instrument("/v1/pvt", s.handlePVT))
+	mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
+	mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmitJob))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/get", s.handleGetJob))
+	mux.Handle("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	mux.Handle("/debug/", telemetry.DebugMux(telemetry.Default(), telemetry.DefaultTracer()))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	})
+	return mux
+}
+
+// statusRecorder captures the handler's status code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the code.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the varpower_http_* metrics for its route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	hist := telemetry.Default().Histogram("varpower_http_request_seconds",
+		"HTTP request handling latency by route.", httpLatencyBuckets,
+		telemetry.Labels{"route": route})
+	counter := func(code int) *telemetry.Counter {
+		return telemetry.Default().Counter("varpower_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			telemetry.Labels{"route": route, "code": fmt.Sprint(code)})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mHTTPInflight.Add(1)
+		defer mHTTPInflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		counter(rec.code).Inc()
+	})
+}
+
+// --- Read endpoints ---------------------------------------------------------
+
+// handleHealthz reports liveness, uptime and queue depth.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptime_s":    int64(time.Since(s.start).Seconds()),
+		"systems":     s.names,
+		"queue_depth": s.queue.depth(),
+	})
+}
+
+// systemInfo is one /v1/systems row.
+type systemInfo struct {
+	Name            string `json:"name"`
+	Site            string `json:"site"`
+	Arch            string `json:"arch"`
+	Measurement     string `json:"measurement"`
+	SupportsCapping bool   `json:"supports_capping"`
+	ModulesTotal    int    `json:"modules_total"`
+	ModulesLoaded   int    `json:"modules_loaded"`
+	Quarantined     int    `json:"quarantined"`
+}
+
+// handleSystems lists the loaded presets.
+func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
+	out := make([]systemInfo, 0, len(s.names))
+	for _, name := range s.names {
+		b := s.base[strings.ToLower(name)]
+		out = append(out, systemInfo{
+			Name:            b.spec.Name,
+			Site:            b.spec.Site,
+			Arch:            b.spec.Arch.Name,
+			Measurement:     string(b.spec.Measurement),
+			SupportsCapping: b.spec.Measurement.SupportsCapping(),
+			ModulesTotal:    b.spec.TotalModules(),
+			ModulesLoaded:   b.fw.Sys.NumModules(),
+			Quarantined:     len(b.fw.PVT.Quarantined),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"systems": out})
+}
+
+// handlePVT serves a loaded system's Power Variation Table.
+func (s *Server) handlePVT(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.base[strings.ToLower(strings.TrimSpace(r.PathValue("system")))]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"system %q not loaded (have %v)", r.PathValue("system"), s.names)
+		return
+	}
+	writeJSON(w, http.StatusOK, b.fw.PVT)
+}
+
+// handleMetrics re-exports the telemetry registry; ?format=json|csv|prom
+// overrides the default Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := telemetry.FormatPrometheus
+	ct := "text/plain; version=0.0.4; charset=utf-8"
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "", "prom", "prometheus":
+	case "json":
+		format, ct = telemetry.FormatJSON, "application/json; charset=utf-8"
+	case "csv":
+		format, ct = telemetry.FormatCSV, "text/csv; charset=utf-8"
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"unknown metrics format %q (want prom, json or csv)", r.URL.Query().Get("format"))
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	_ = telemetry.Write(w, telemetry.Default(), format)
+}
+
+// --- Solve ------------------------------------------------------------------
+
+// canonical validates and canonicalises a request against the loaded state:
+// names take their canonical forms, defaults are filled in, and the returned
+// request is the cache-key identity — two requests meaning the same solve
+// canonicalise identically.
+func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *workload.Benchmark, core.Scheme, units.Watts, error) {
+	b, ok := s.base[strings.ToLower(strings.TrimSpace(req.System))]
+	if !ok {
+		return req, nil, nil, 0, 0, fmt.Errorf("system %q not loaded (have %v)", req.System, s.names)
+	}
+	req.System = b.spec.Name
+	bench, err := workload.ByName(req.Workload)
+	if err != nil {
+		return req, nil, nil, 0, 0, err
+	}
+	req.Workload = bench.Name
+	scheme, err := core.SchemeByName(req.Scheme)
+	if err != nil {
+		return req, nil, nil, 0, 0, err
+	}
+	req.Scheme = scheme.String()
+	budget, err := req.budget()
+	if err != nil {
+		return req, nil, nil, 0, 0, err
+	}
+	req.Budget = ""
+	req.BudgetWatts = float64(budget)
+	if req.Seed == 0 {
+		req.Seed = s.cfg.Seed
+	}
+	loaded := b.fw.Sys.NumModules()
+	if req.Modules == 0 {
+		req.Modules = loaded
+	}
+	if req.Modules < 1 || req.Modules > b.spec.TotalModules() {
+		return req, nil, nil, 0, 0, fmt.Errorf("modules %d outside [1, %d]", req.Modules, b.spec.TotalModules())
+	}
+	if req.Faults != "" {
+		level, err := faults.LevelByName(req.Faults, s.cfg.FaultHorizon)
+		if err != nil {
+			return req, nil, nil, 0, 0, err
+		}
+		if level.Name == "none" {
+			req.Faults = "" // byte-identical to not asking for faults
+		} else {
+			req.Faults = level.Name
+		}
+	}
+	return req, b, bench, scheme, budget, nil
+}
+
+// key renders the canonical request as the content cache key.
+func solveKey(req SolveRequest) string {
+	return fmt.Sprintf("%s|%s|%s|%.6f|%d|%d|%s",
+		req.System, req.Workload, req.Scheme, req.BudgetWatts, req.Modules, req.Seed, req.Faults)
+}
+
+// pmtKey is the calibration cache key: everything but the budget, which the
+// PMT does not depend on — that is what makes budget sweeps cheap.
+func pmtKey(req SolveRequest) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%s",
+		req.System, req.Workload, req.Scheme, req.Modules, req.Seed, req.Faults)
+}
+
+// frameworkFor materialises the system a canonical request solves against.
+// The serving-seed, healthy, full-size case clones the owned base system
+// (cheap: the PVT is shared, module instantiation is a few RNG draws); any
+// other seed, size or fault level builds and calibrates a fresh replica —
+// the genuinely cold path.
+func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (*core.Framework, error) {
+	if req.Seed == s.cfg.Seed && req.Faults == "" && req.Modules <= b.fw.Sys.NumModules() {
+		return b.fw.Clone(), nil
+	}
+	n := req.Modules
+	if loaded := b.fw.Sys.NumModules(); n < loaded {
+		n = loaded
+	}
+	sys, err := cluster.New(b.spec, n, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if req.Faults != "" {
+		level, err := faults.LevelByName(req.Faults, s.cfg.FaultHorizon)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := faults.Generate(req.Seed, level.Spec, n)
+		if err != nil {
+			return nil, err
+		}
+		sys.InstallFaults(faults.MustInjector(plan))
+	}
+	return core.NewFrameworkWorkers(sys, nil, s.cfg.Workers)
+}
+
+// calibrate builds (or fetches) the calibrated PMT for a canonical request.
+func (s *Server) calibrate(req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
+	cal, err, _ := s.pmts.Do(pmtKey(req), func() (calibration, error) {
+		fw, err := s.frameworkFor(req, b)
+		if err != nil {
+			return calibration{}, err
+		}
+		ids, err := fw.Sys.AllocateFirst(req.Modules)
+		if err != nil {
+			return calibration{}, err
+		}
+		pmt, err := fw.BuildPMT(bench, ids, scheme)
+		if err != nil {
+			return calibration{}, err
+		}
+		var quarantined []int
+		for _, id := range fw.PVT.Quarantined {
+			if id < req.Modules {
+				quarantined = append(quarantined, id)
+			}
+		}
+		return calibration{pmt: pmt, quarantined: quarantined}, nil
+	})
+	return cal, err
+}
+
+// solveBody computes the rendered response for a canonical request — the
+// cache-miss path.
+func (s *Server) solveBody(req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
+	cal, err := s.calibrate(req, b, bench, scheme)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := core.Solve(cal.pmt, b.spec.Arch, budget)
+	if err != nil {
+		return nil, err
+	}
+	resp := SolveResponse{
+		System:      req.System,
+		Workload:    req.Workload,
+		Scheme:      req.Scheme,
+		BudgetWatts: req.BudgetWatts,
+		Modules:     req.Modules,
+		Seed:        req.Seed,
+		Faults:      req.Faults,
+		Alpha:       alloc.Alpha,
+		FreqHz:      float64(alloc.Freq),
+		Feasible:    alloc.Feasible,
+		Clamped:     alloc.Clamped,
+		Constrained: alloc.Constrained,
+
+		PredictedPowerW: float64(alloc.TotalPredicted()),
+		PredictedTimeS:  float64(core.PredictTime(bench, b.spec.Arch, alloc, scheme)),
+		Quarantined:     cal.quarantined,
+		Allocations:     make([]ModuleAllocation, len(alloc.Entries)),
+	}
+	for i, e := range alloc.Entries {
+		resp.Allocations[i] = ModuleAllocation{
+			Module:  e.ModuleID,
+			PModule: float64(e.Pmodule),
+			PCPU:    float64(e.Pcpu),
+			PDram:   float64(e.Pdram),
+		}
+	}
+	return marshalBody(resp)
+}
+
+// handleSolve is POST /v1/solve: decode, canonicalise, and answer from the
+// content-keyed cache (computing under singleflight on a miss). The cache
+// disposition travels in the X-Varpower-Cache header so the body stays
+// byte-identical across hit, miss and coalesced answers.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	req, b, bench, scheme, budget, err := s.canonical(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	body, err, disp := s.solves.Do(solveKey(req), func() ([]byte, error) {
+		return s.solveBody(req, b, bench, scheme, budget)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "solve: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Varpower-Cache", string(disp))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// --- Jobs -------------------------------------------------------------------
+
+// handleSubmitJob is POST /v1/jobs: validate like a solve, then enqueue the
+// full simulated run. A full queue answers 429 with a Retry-After estimate;
+// a draining server answers 503.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	req, _, _, _, _, err := s.canonical(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	j, err := s.queue.submit(req)
+	switch e := err.(type) {
+	case nil:
+	case ErrQueueFull:
+		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"job queue full (%d queued), retry after %ds", s.queue.depth(), e.RetryAfter)
+		return
+	default:
+		if err == ErrDraining {
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleGetJob is GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// runJob executes one dequeued job: materialise the system, run the full
+// pipeline (calibration, solve, enforced final run), record the measured
+// result. Requests were canonicalised at submission, so failures here are
+// genuine run failures (e.g. an infeasible budget), not validation gaps.
+func (s *Server) runJob(j *job) {
+	if s.testHookBeforeJob != nil {
+		s.testHookBeforeJob()
+	}
+	req := j.req
+	b := s.base[strings.ToLower(req.System)]
+	res, err := func() (*JobResult, error) {
+		bench, err := workload.ByName(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := core.SchemeByName(req.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := s.frameworkFor(req, b)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := fw.Sys.AllocateFirst(req.Modules)
+		if err != nil {
+			return nil, err
+		}
+		run, err := fw.Run(bench, ids, units.Watts(req.BudgetWatts), scheme)
+		if err != nil {
+			return nil, err
+		}
+		out := &JobResult{
+			Alpha:     run.Alloc.Alpha,
+			FreqHz:    float64(run.Alloc.Freq),
+			ElapsedS:  float64(run.Result.Elapsed),
+			AvgPowerW: float64(run.Result.AvgTotalPower),
+			EnergyJ:   float64(run.Result.TotalEnergy),
+			DeadRanks: run.Result.DeadRanks(),
+			Degraded:  run.Result.Degraded(),
+		}
+		sort.Ints(out.DeadRanks)
+		return out, nil
+	}()
+	j.finish(res, err)
+}
+
+// Drain gracefully shuts the serving state down: stop accepting jobs,
+// finish the queued and in-flight ones, up to ctx's deadline. The HTTP
+// listener's own drain is the caller's (telemetry.Server's) concern — the
+// sequence in cmd/varpowerd is listener first, then queue, then metrics
+// flush.
+func (s *Server) Drain(ctx context.Context) error { return s.queue.drain(ctx) }
