@@ -6,66 +6,24 @@
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . | go run ./cmd/benchjson > BENCH.json
 //
 // allocs_op is -1 when the run did not include -benchmem. The GOMAXPROCS
-// suffix (“-8”) is stripped from names so the artifact diffs cleanly
-// across machines; ns_op is machine-dependent by nature — the artifact
-// records the perf trajectory, not a contract.
+// suffix ("-8") is stripped from names so the artifact diffs cleanly
+// across machines — only the exact "-GOMAXPROCS" tail, so benchmark names
+// that legitimately end in a number ("workers-1", "exp-2") survive.
+// ns_op is machine-dependent by nature; the artifact records the perf
+// trajectory, and cmd/benchgate turns it into a regression gate.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+	"runtime"
+
+	"varpower/internal/benchparse"
 )
 
-// Bench is one benchmark result.
-type Bench struct {
-	Name     string  `json:"name"`
-	NsOp     float64 `json:"ns_op"`
-	AllocsOp int64   `json:"allocs_op"`
-}
-
-// benchLine matches one result line, e.g.
-//
-//	BenchmarkFigure7-8   1   123456789 ns/op   2048 B/op   32 allocs/op   1.23 speedup-avg
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
-
-// parse extracts the benchmark records from go test -bench output.
-func parse(r io.Reader) ([]Bench, error) {
-	var out []Bench
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		b := Bench{Name: m[1], AllocsOp: -1}
-		// The tail is "value unit" pairs: "123 ns/op 45 B/op 6 allocs/op ...".
-		fields := strings.Fields(m[2])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("benchjson: %s: bad value %q for %q", b.Name, fields[i], fields[i+1])
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				b.NsOp = v
-			case "allocs/op":
-				b.AllocsOp = int64(v)
-			}
-		}
-		out = append(out, b)
-	}
-	return out, sc.Err()
-}
-
 func main() {
-	benches, err := parse(os.Stdin)
+	benches, err := benchparse.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -74,6 +32,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	benches = benchparse.Normalize(benches, runtime.GOMAXPROCS(0))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(benches); err != nil {

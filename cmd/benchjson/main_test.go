@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"varpower/internal/benchparse"
 )
 
 func TestParse(t *testing.T) {
@@ -15,11 +17,12 @@ BenchmarkNoMem      	      10	       500 ns/op
 PASS
 ok  	varpower	1.234s
 `
-	got, err := parse(strings.NewReader(in))
+	got, err := benchparse.Parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Bench{
+	got = benchparse.Normalize(got, 8)
+	want := []benchparse.Bench{
 		{Name: "BenchmarkTable1", NsOp: 12345, AllocsOp: 32},
 		{Name: "BenchmarkFigure7", NsOp: 1234567890, AllocsOp: 77},
 		{Name: "BenchmarkNoMem", NsOp: 500, AllocsOp: -1},
@@ -35,7 +38,7 @@ ok  	varpower	1.234s
 }
 
 func TestParseRejectsGarbageValue(t *testing.T) {
-	if _, err := parse(strings.NewReader("BenchmarkX-4  1  oops ns/op\n")); err == nil {
+	if _, err := benchparse.Parse(strings.NewReader("BenchmarkX-4  1  oops ns/op\n")); err == nil {
 		t.Fatal("want error for non-numeric value")
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience]
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience|fleet]
 //	       [-modules N] [-seed S] [-workers W] [-faults FILE]
 //	       [-record FILE] [-record-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
@@ -36,6 +36,11 @@
 // graceful degradation (dead modules' budgets re-solved across survivors);
 // with -faults it evaluates that plan instead of the generated ladder. Like
 // vt-timeline it only runs when asked for explicitly.
+//
+// The "fleet" experiment runs the full pipeline — build, install-time PVT
+// sweep, calibration, solve, one measured MHD run — on a 100,000-module
+// scaled HA8K system (override with -modules) and prints the result plus a
+// wall-clock phase profile; it too only runs when named explicitly.
 package main
 
 import (
@@ -51,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience)")
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience, fleet)")
 		modules = flag.Int("modules", 1920, "HA8K module count")
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
@@ -69,6 +74,13 @@ func main() {
 	}
 	plotShapes = *plot
 	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan()}
+	// The fleet experiment defaults to its own 100k-module scale; -modules
+	// overrides it only when the flag was given explicitly.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "modules" {
+			o.FleetModules = *modules
+		}
+	})
 	var err error
 	if *dump != "" {
 		err = dumpAll(*dump, o)
@@ -185,6 +197,19 @@ func run(exp string, o experiments.Options) error {
 			return err
 		}
 		if err := experiments.RenderResilience(w, r); err != nil {
+			return err
+		}
+	}
+	// fleet builds a 100k-module system and runs the whole pipeline on it;
+	// it only runs when asked for explicitly.
+	if exp == "fleet" {
+		ran = true
+		report.Section(w, "Fleet")
+		fr, err := experiments.Fleet(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFleet(w, fr); err != nil {
 			return err
 		}
 	}

@@ -75,16 +75,26 @@ func (s Spec) TotalModules() int { return s.Nodes * s.ProcsPerNode }
 // System is an instantiated machine: a population of modules with their
 // drawn variation factors plus the per-module control/measurement plumbing
 // (MSR devices, RAPL controllers where supported, cpufreq governors).
+//
+// Per-module state is laid out struct-of-arrays: one value slice per
+// component rather than one heap object per module per component, so a
+// 100k-module system is four contiguous allocations instead of 400k. The
+// slices are never reallocated or copied after New — accessors hand out
+// stable interior pointers, and the contained mutexes are only ever used
+// through those pointers.
 type System struct {
 	Spec Spec
 	Seed uint64
 
-	modules     []*module.Module
-	devices     []*msr.Device
-	controllers []*rapl.Controller
-	governors   []*cpufreq.Governor
-	control     rapl.ControlModel
-	faults      *faults.Injector
+	modules     []module.Module
+	devices     []msr.Device
+	controllers []rapl.Controller
+	governors   []cpufreq.Governor
+	// ladder is the architecture's P-state ladder, built once and shared by
+	// every governor (read-only by contract).
+	ladder  []units.Hertz
+	control rapl.ControlModel
+	faults  *faults.Injector
 }
 
 // New instantiates count modules of the spec (count ≤ Spec.TotalModules;
@@ -103,20 +113,29 @@ func New(spec Spec, count int, seed uint64) (*System, error) {
 	sys := &System{
 		Spec:        spec,
 		Seed:        seed,
-		modules:     make([]*module.Module, count),
-		devices:     make([]*msr.Device, count),
-		controllers: make([]*rapl.Controller, count),
-		governors:   make([]*cpufreq.Governor, count),
+		modules:     make([]module.Module, count),
+		devices:     make([]msr.Device, count),
+		controllers: make([]rapl.Controller, count),
+		governors:   make([]cpufreq.Governor, count),
+		ladder:      spec.Arch.PStates(),
 		control:     rapl.DefaultControl,
 	}
-	for i := 0; i < count; i++ {
-		m := module.New(i, spec.Arch, seed)
-		sys.modules[i] = m
-		sys.devices[i] = msr.NewDevice(float64(spec.Arch.TDP))
-		sys.controllers[i] = rapl.NewController(m, sys.devices[i], rapl.DefaultControl, seed)
-		sys.governors[i] = cpufreq.NewGovernor(m)
-	}
+	sys.initModules()
 	return sys, nil
+}
+
+// initModules (re)initialises every per-module component in place to its
+// power-on state under the system's current control model. It writes every
+// field of every device, controller and governor, which is what makes
+// Reset bit-identical to a fresh Clone.
+func (s *System) initModules() {
+	tdp := float64(s.Spec.Arch.TDP)
+	for i := range s.modules {
+		s.modules[i].Init(i, s.Spec.Arch, s.Seed)
+		s.devices[i].Init(tdp)
+		s.controllers[i].Init(&s.modules[i], &s.devices[i], s.control, s.Seed)
+		s.governors[i].Init(&s.modules[i], s.ladder)
+	}
 }
 
 // MustNew is New for presets known to be valid; it panics on error.
@@ -132,23 +151,24 @@ func MustNew(spec Spec, count int, seed uint64) *System {
 func (s *System) NumModules() int { return len(s.modules) }
 
 // Module returns module id.
-func (s *System) Module(id int) *module.Module { return s.modules[id] }
+func (s *System) Module(id int) *module.Module { return &s.modules[id] }
 
 // RAPL returns module id's RAPL controller. Callers must check
 // Spec.Measurement.SupportsCapping before relying on enforcement; the
 // controller exists on all systems (the MSR space exists) but on non-Intel
 // presets it models nothing the real machine had.
-func (s *System) RAPL(id int) *rapl.Controller { return s.controllers[id] }
+func (s *System) RAPL(id int) *rapl.Controller { return &s.controllers[id] }
 
 // Governor returns module id's cpufreq governor.
-func (s *System) Governor(id int) *cpufreq.Governor { return s.governors[id] }
+func (s *System) Governor(id int) *cpufreq.Governor { return &s.governors[id] }
 
 // SetControlModel replaces every controller's RAPL control-imperfection
-// model (used by ablation benchmarks).
+// model (used by ablation benchmarks), reinitialising each controller in
+// place.
 func (s *System) SetControlModel(c rapl.ControlModel) {
 	s.control = c
-	for i, m := range s.modules {
-		s.controllers[i] = rapl.NewController(m, s.devices[i], c, s.Seed)
+	for i := range s.controllers {
+		s.controllers[i].Init(&s.modules[i], &s.devices[i], c, s.Seed)
 		if s.faults != nil {
 			s.controllers[i].SetFaultModel(s.faults)
 		}
@@ -174,6 +194,28 @@ func (s *System) InstallFaults(in *faults.Injector) {
 		}
 		s.devices[i].SetReadInterceptor(in.Device(i))
 		s.controllers[i].SetFaultModel(in)
+	}
+}
+
+// Reset restores the system to the state a fresh Clone would have: every
+// device, controller and governor is reinitialised in place (power-on
+// registers, cleared energy extensions, unpinned clocks, detached
+// listeners) and the control model and fault injector are reapplied. The
+// modules themselves are immutable and keep their drawn factors. Because
+// the component Init methods write every field, a Reset system measures
+// bit-identically to a fresh Clone — the invariant that makes pooled
+// replica reuse (internal/core ReplicaPool) invisible to results. Must not
+// be called concurrently with a run on this system.
+func (s *System) Reset() {
+	tdp := float64(s.Spec.Arch.TDP)
+	for i := range s.modules {
+		s.devices[i].Init(tdp)
+		s.controllers[i].Init(&s.modules[i], &s.devices[i], s.control, s.Seed)
+		s.governors[i].Init(&s.modules[i], s.ladder)
+	}
+	if s.faults != nil {
+		in := s.faults
+		s.InstallFaults(in)
 	}
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"varpower/internal/cluster"
+	"varpower/internal/flight"
+	"varpower/internal/units"
 	"varpower/internal/workload"
 )
 
@@ -116,5 +119,71 @@ func TestClonedFrameworkMeasuresIdentically(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("two fresh clones measured differently")
+	}
+}
+
+// TestPooledReplicaEquivalence is the pooled-vs-fresh property behind the
+// sweep engines' replica pooling: at every worker width, a run on a
+// *recycled* pool replica must deep-equal the same run on a fresh clone,
+// and the flight traces the two runs record must be byte-identical. The
+// pool is primed with a used-and-returned replica so the borrow is a real
+// recycle, not a hidden fresh Clone.
+func TestPooledReplicaEquivalence(t *testing.T) {
+	bench := workload.MHD()
+	budget := units.Watts(70 * 64)
+	trace := func(fw *Framework) []byte {
+		t.Helper()
+		fw.Recorder = flight.New(flight.Config{Hz: 2})
+		defer func() { fw.Recorder = nil }()
+		ids, err := fw.Sys.AllocateFirst(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Run(bench, ids, budget, VaPc); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteTrace(&buf, fw.Recorder.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	run := func(fw *Framework) *SchemeRun {
+		t.Helper()
+		ids, err := fw.Sys.AllocateFirst(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := fw.Run(bench, ids, budget, VaPc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, w := range workerWidths() {
+		sys := cluster.MustNew(cluster.HA8K(), 64, 0x5c15)
+		fw, err := NewFrameworkWorkers(sys, nil, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		wantRun := run(fw.Clone())
+		wantTrace := trace(fw.Clone())
+
+		pool := NewReplicaPool(fw)
+		// Dirty a replica and return it, so the next Get recycles it.
+		dirty := pool.Get()
+		run(dirty)
+		pool.Put(dirty)
+
+		recycled := pool.Get()
+		if gotRun := run(recycled); !reflect.DeepEqual(wantRun, gotRun) {
+			t.Fatalf("workers=%d: recycled replica's run differs from fresh clone's", w)
+		}
+		pool.Put(recycled)
+		recycled = pool.Get()
+		if gotTrace := trace(recycled); !bytes.Equal(wantTrace, gotTrace) {
+			t.Fatalf("workers=%d: recycled replica's flight trace differs from fresh clone's", w)
+		}
+		pool.Put(recycled)
 	}
 }

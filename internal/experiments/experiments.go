@@ -39,6 +39,9 @@ type Options struct {
 	// HA8KModules is the module count for all capping experiments
 	// (paper: 1,920).
 	HA8KModules int
+	// FleetModules is the fleet experiment's system size
+	// (default DefaultFleetModules, 100,000).
+	FleetModules int
 	// CabSockets, VulcanBoards (of 32 nodes each), TellerSockets scale the
 	// Figure-1 study (paper: 2,386 / 48 / 64).
 	CabSockets    int

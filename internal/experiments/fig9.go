@@ -54,7 +54,7 @@ func Figure9(g *EvalGrid) (Fig9Result, error) {
 				}
 				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %s@%v %v: %w", sc.Bench, sc.Cs, scheme, cell.Err)
 			}
-			kw := float64(cell.Run.Result.AvgTotalPower) * scale / 1e3
+			kw := float64(cell.AvgTotalPower) * scale / 1e3
 			row.MeasuredKW[scheme] = kw
 			if kw > sc.Cs.KW() {
 				row.Violates[scheme] = true

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"varpower/internal/telemetry"
+)
+
+// TestFleetSmoke is the fleet-scale acceptance test: the full pipeline —
+// build, install-time PVT sweep, calibration, solve, one full-fleet run —
+// on 100,000 modules, twice. It asserts a CI-safe wall-clock bound, exact
+// determinism across the two runs, and that the run populated the
+// telemetry families varsim's -metrics export is checked for.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet scale in -short mode")
+	}
+	o := Options{FleetModules: 100_000}
+	start := time.Now()
+	r1, err := Fleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous for CI runners under the race detector; on a plain build the
+	// two runs finish in a few seconds.
+	if wall := time.Since(start); wall > 8*time.Minute {
+		t.Fatalf("two 100k-module fleet runs took %v, budget 8m", wall)
+	}
+
+	if r1.Modules != 100_000 {
+		t.Fatalf("ran %d modules", r1.Modules)
+	}
+	// Wall-clock phase timings are the only nondeterministic fields; zero
+	// them and require everything else to agree exactly.
+	r1.Phases, r2.Phases = nil, nil
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same-seed fleet runs differ:\n%+v\n%+v", r1, r2)
+	}
+	if !r1.Adheres {
+		t.Fatalf("fleet run violated its budget: %v > %v", r1.AvgTotalPower, r1.Cs)
+	}
+	if r1.Alpha <= 0 || r1.Alpha > 1 {
+		t.Fatalf("implausible α %v", r1.Alpha)
+	}
+	if r1.CapMin <= 0 || r1.CapMin >= r1.CapMax {
+		t.Fatalf("degenerate cap spread [%v, %v] — variation-aware caps must differ", r1.CapMin, r1.CapMax)
+	}
+	if r1.Elapsed <= 0 {
+		t.Fatalf("elapsed %v", r1.Elapsed)
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, telemetry.Default()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, family := range []string{
+		"varpower_measure_runs_total",
+		"varpower_measure_rank_wait_seconds",
+		"varpower_mpi_rank_wait_seconds",
+		"varpower_budget_residual_watts",
+		"varpower_phase_duration_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("metric family %q missing after fleet run", family)
+		}
+	}
+}
+
+// TestFleetScalesDown: the experiment honours FleetModules, so small
+// configurations (CI spot checks, laptops) run the identical pipeline.
+func TestFleetScalesDown(t *testing.T) {
+	r, err := Fleet(Options{FleetModules: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Modules != 256 {
+		t.Fatalf("modules = %d", r.Modules)
+	}
+	if len(r.Phases) != 5 {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+	var rendered bytes.Buffer
+	if err := RenderFleet(&rendered, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered.String(), "Budget adhered") {
+		t.Fatalf("render missing summary rows:\n%s", rendered.String())
+	}
+}

@@ -13,6 +13,12 @@ import (
 )
 
 // GridCell is one (benchmark, constraint, scheme) evaluation.
+//
+// Cells are aggregated streamingly: the figures built from the grid need
+// only a cell's elapsed time and measured power, so those are extracted as
+// each cell completes and the heavyweight run (per-rank stats plus the
+// scheme's PMT) is dropped. The exception is VaFs, whose full runs
+// Figure 8 re-summarises per rank — only those cells retain Run.
 type GridCell struct {
 	Bench string
 	// Cs is the paper-scale system constraint (for 1,920 modules); the
@@ -20,8 +26,13 @@ type GridCell struct {
 	// count.
 	Cs     units.Watts
 	Scheme core.Scheme
-	Run    *core.SchemeRun
-	Err    error
+	// Elapsed is the final run's application time; AvgTotalPower its
+	// measured average total power.
+	Elapsed       units.Seconds
+	AvgTotalPower units.Watts
+	// Run is the full scheme run, retained for VaFs cells only.
+	Run *core.SchemeRun
+	Err error
 }
 
 // EvalGrid holds the full evaluation-section run matrix: every Table-4 "X"
@@ -79,12 +90,27 @@ func EvaluationGrid(o Options) (*EvalGrid, error) {
 			}
 		}
 	}
+	// Cells borrow framework replicas from a pool instead of cloning per
+	// cell: a recycled replica is reset to the fresh-clone state on return,
+	// so the grid stays byte-identical while the allocation cost drops to
+	// one replica per concurrent worker.
+	pool := core.NewReplicaPool(fw)
 	g.Cells, err = parallel.MapCtx(o.progressCtx("grid"), o.Workers, len(specs), func(_ context.Context, i int) (GridCell, error) {
 		s := specs[i]
 		span := telemetry.StartSpan("grid.cell").Annotate("%s %v %v", s.bench.Name, s.cs, s.scheme)
 		defer span.End()
-		run, err := fw.Clone().Run(s.bench, ids, CsForScale(s.cs, len(ids)), s.scheme)
-		return GridCell{Bench: s.bench.Name, Cs: s.cs, Scheme: s.scheme, Run: run, Err: err}, nil
+		cfw := pool.Get()
+		run, err := cfw.Run(s.bench, ids, CsForScale(s.cs, len(ids)), s.scheme)
+		pool.Put(cfw)
+		cell := GridCell{Bench: s.bench.Name, Cs: s.cs, Scheme: s.scheme, Err: err}
+		if err == nil {
+			cell.Elapsed = run.Elapsed()
+			cell.AvgTotalPower = run.Result.AvgTotalPower
+			if s.scheme == core.VaFs {
+				cell.Run = run
+			}
+		}
+		return cell, nil
 	})
 	if err != nil {
 		return nil, err
@@ -119,7 +145,7 @@ func (g *EvalGrid) Speedup(bench string, cs units.Watts, scheme core.Scheme) (fl
 	if c.Err != nil {
 		return 0, c.Err
 	}
-	return float64(base.Run.Elapsed()) / float64(c.Run.Elapsed()), nil
+	return float64(base.Elapsed) / float64(c.Elapsed), nil
 }
 
 // Scenarios lists the distinct (bench, Cs) pairs in grid order.

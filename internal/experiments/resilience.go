@@ -163,11 +163,13 @@ func Resilience(o Options) (*ResilienceResult, error) {
 		if o.Recorder != nil {
 			workers = 1
 		}
+		pool := core.NewReplicaPool(fw)
 		res.Cells, err = parallel.MapCtx(o.progressCtx("resilience "+lv.name), workers,
 			len(ResilienceSchemes), func(_ context.Context, i int) (ResilienceCell, error) {
 				scheme := ResilienceSchemes[i]
 				cell := ResilienceCell{Level: lv.name, Scheme: scheme}
-				cfw := fw.Clone()
+				cfw := pool.Get()
+				defer pool.Put(cfw)
 				cfw.Recorder = o.Recorder
 				run, err := cfw.RunResilient(bench, ids, budget, scheme)
 				if err != nil {

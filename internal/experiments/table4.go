@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
+	"varpower/internal/cluster"
 	"varpower/internal/measure"
 	"varpower/internal/parallel"
 	"varpower/internal/report"
@@ -71,13 +73,23 @@ func Table4(o Options) (Table4Result, error) {
 	// Each benchmark's uncapped and fmin sweeps run on a private system
 	// replica so the rows can be measured concurrently; the per-row marks
 	// derive only from deterministic operating points, so the table is
-	// byte-identical for every worker count.
+	// byte-identical for every worker count. Replicas are pooled: a row
+	// returns its system reset to power-on state for the next row to
+	// borrow, capping clone allocations at one replica per worker.
+	var sysPool sync.Pool
 	benches := workload.Evaluated()
 	out.Rows, err = parallel.MapCtx(o.progressCtx("table4"), o.Workers, len(benches), func(_ context.Context, i int) (Table4Row, error) {
 		b := benches[i]
 		span := telemetry.StartSpan("table4.row").Annotate("%s", b.Name)
 		defer span.End()
-		rsys := sys.Clone()
+		rsys, _ := sysPool.Get().(*cluster.System)
+		if rsys == nil {
+			rsys = sys.Clone()
+		}
+		defer func() {
+			rsys.Reset()
+			sysPool.Put(rsys)
+		}()
 		unc, err := measure.Run(rsys, measure.Config{Bench: b, Modules: ids, Mode: measure.ModeUncapped, Workers: o.Workers})
 		if err != nil {
 			return Table4Row{}, fmt.Errorf("experiments: table 4 %s: %w", b.Name, err)

@@ -55,7 +55,22 @@ func (g *Governor) SetListener(l Listener) { g.listener = l }
 // NewGovernor creates a governor for the module with its architecture's
 // P-state ladder.
 func NewGovernor(mod *module.Module) *Governor {
-	return &Governor{mod: mod, ladder: mod.Arch.PStates()}
+	g := &Governor{}
+	g.Init(mod, mod.Arch.PStates())
+	return g
+}
+
+// Init (re)initialises the governor in place: unpinned, listener detached,
+// using the given P-state ladder. The ladder may be shared across the
+// governors of one system (internal/cluster builds it once per
+// architecture) — governors never mutate it, and Available hands out
+// copies. Must not race with concurrent use; callers reset between runs.
+func (g *Governor) Init(mod *module.Module, ladder []units.Hertz) {
+	g.mod = mod
+	g.ladder = ladder
+	g.target = 0
+	g.pinned = false
+	g.listener = nil
 }
 
 // Available returns the selectable frequencies, ascending.

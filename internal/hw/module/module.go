@@ -191,12 +191,20 @@ type Module struct {
 // New creates module id of a system with the given seed, drawing its
 // variation factors deterministically.
 func New(id int, arch *Arch, seed uint64) *Module {
-	return &Module{
-		ID:      id,
-		Arch:    arch,
-		factors: variability.Generate(seed, id, arch.Variation),
-		seed:    seed,
-	}
+	m := &Module{}
+	m.Init(id, arch, seed)
+	return m
+}
+
+// Init (re)initialises the module in place — the constructor used by the
+// struct-of-arrays layout in internal/cluster, where a system's modules
+// live in one value slice instead of one heap object each. A Module is
+// immutable after Init.
+func (m *Module) Init(id int, arch *Arch, seed uint64) {
+	m.ID = id
+	m.Arch = arch
+	m.factors = variability.Generate(seed, id, arch.Variation)
+	m.seed = seed
 }
 
 // Factors exposes the module's latent variation factors. Production tooling

@@ -52,22 +52,75 @@ type access struct {
 	writable bool
 }
 
+// Register storage is a fixed array rather than a map: Read/Write and
+// AccumulateEnergy sit on the simulation's per-poll hot path, and map
+// lookups on the register address were ~10% of simulation CPU at fleet
+// scale. regIndex is the address decoder; -1 plays the role of a missing
+// whitelist entry.
+const (
+	regPerfStatus = iota
+	regPerfCtl
+	regTurboRatio
+	regPowerUnit
+	regPkgLimit
+	regPkgEnergy
+	regPkgInfo
+	regDramLimit
+	regDramEnergy
+	regPkgPerf
+	regDramPerf
+	regPlatformInfo
+	nRegs
+)
+
+// regIndex maps a whitelisted register address to its storage slot.
+func regIndex(addr uint64) int {
+	switch addr {
+	case IA32PerfStatus:
+		return regPerfStatus
+	case IA32PerfCtl:
+		return regPerfCtl
+	case TurboRatioLimit:
+		return regTurboRatio
+	case RaplPowerUnit:
+		return regPowerUnit
+	case PkgPowerLimit:
+		return regPkgLimit
+	case PkgEnergyStatus:
+		return regPkgEnergy
+	case PkgPowerInfo:
+		return regPkgInfo
+	case DramPowerLimit:
+		return regDramLimit
+	case DramEnergyStatus:
+		return regDramEnergy
+	case PkgPerfStatus:
+		return regPkgPerf
+	case DramPerfStatus:
+		return regDramPerf
+	case PlatformPowerInfo:
+		return regPlatformInfo
+	default:
+		return -1
+	}
+}
+
 // whitelist mirrors the msr-safe configuration the paper's experiments
 // depended on (Shoga, Rountree & Schulz, "Whitelisting MSRs with
-// msr-safe").
-var whitelist = map[uint64]access{
-	IA32PerfStatus:    {readable: true},
-	IA32PerfCtl:       {readable: true, writable: true},
-	TurboRatioLimit:   {readable: true, writable: true},
-	RaplPowerUnit:     {readable: true},
-	PkgPowerLimit:     {readable: true, writable: true},
-	PkgEnergyStatus:   {readable: true},
-	PkgPowerInfo:      {readable: true},
-	DramPowerLimit:    {readable: true, writable: true},
-	DramEnergyStatus:  {readable: true},
-	PkgPerfStatus:     {readable: true},
-	DramPerfStatus:    {readable: true},
-	PlatformPowerInfo: {readable: true},
+// msr-safe"), indexed by register slot.
+var whitelist = [nRegs]access{
+	regPerfStatus:   {readable: true},
+	regPerfCtl:      {readable: true, writable: true},
+	regTurboRatio:   {readable: true, writable: true},
+	regPowerUnit:    {readable: true},
+	regPkgLimit:     {readable: true, writable: true},
+	regPkgEnergy:    {readable: true},
+	regPkgInfo:      {readable: true},
+	regDramLimit:    {readable: true, writable: true},
+	regDramEnergy:   {readable: true},
+	regPkgPerf:      {readable: true},
+	regDramPerf:     {readable: true},
+	regPlatformInfo: {readable: true},
 }
 
 // ReadInterceptor perturbs what software observes when it reads an
@@ -88,8 +141,9 @@ type ReadInterceptor interface {
 // simulated "OS" may read energy counters while a controller thread writes
 // power limits, exactly as on real hardware.
 type Device struct {
-	mu   sync.Mutex
-	regs map[uint64]uint64
+	mu       sync.Mutex
+	regs     [nRegs]uint64
+	tdpWatts float64
 
 	// Raw fractional energy that has not yet been committed to the 32-bit
 	// counters, so that accumulating many tiny quanta does not lose energy
@@ -100,17 +154,38 @@ type Device struct {
 	// Fault interception (nil = faithful reads, the exact pre-fault path).
 	icept    ReadInterceptor
 	pollTime float64
-	lastRet  map[uint64]uint64
+	lastRet  [nRegs]uint64
+	hasLast  [nRegs]bool
 }
 
 // NewDevice returns a device with the unit register and power-info
 // registers initialised for the given package TDP (watts).
 func NewDevice(tdpWatts float64) *Device {
-	d := &Device{regs: make(map[uint64]uint64)}
-	d.regs[RaplPowerUnit] = uint64(powerUnitExp) | uint64(energyUnitExp)<<8 | uint64(timeUnitExp)<<16
-	d.regs[PkgPowerInfo] = EncodePowerUnits(tdpWatts)
+	d := &Device{}
+	d.Init(tdpWatts)
 	return d
 }
+
+// Init (re)initialises the device in place to its power-on state for the
+// given package TDP. Every field is written, so a device reset through Init
+// is bit-identical to a freshly constructed one — the invariant pooled
+// replica reuse (internal/cluster System.Reset) depends on. Init must not
+// race with concurrent Read/Write; callers reset only between runs.
+func (d *Device) Init(tdpWatts float64) {
+	d.regs = [nRegs]uint64{}
+	d.regs[regPowerUnit] = uint64(powerUnitExp) | uint64(energyUnitExp)<<8 | uint64(timeUnitExp)<<16
+	d.regs[regPkgInfo] = EncodePowerUnits(tdpWatts)
+	d.tdpWatts = tdpWatts
+	d.pkgEnergyFrac = 0
+	d.dramEnergyFrac = 0
+	d.icept = nil
+	d.pollTime = 0
+	d.lastRet = [nRegs]uint64{}
+	d.hasLast = [nRegs]bool{}
+}
+
+// TDPWatts returns the package TDP the device was initialised with.
+func (d *Device) TDPWatts() float64 { return d.tdpWatts }
 
 // SetReadInterceptor attaches (or, with nil, detaches) the fault-injection
 // read hook. Interception covers only the energy-status registers — the
@@ -119,7 +194,8 @@ func (d *Device) SetReadInterceptor(i ReadInterceptor) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.icept = i
-	d.lastRet = nil
+	d.lastRet = [nRegs]uint64{}
+	d.hasLast = [nRegs]bool{}
 }
 
 // SetPollTime stamps the run's virtual clock onto subsequent reads so a
@@ -134,23 +210,20 @@ func (d *Device) SetPollTime(t float64) {
 
 // Read returns the value of the register at addr, enforcing the whitelist.
 func (d *Device) Read(addr uint64) (uint64, error) {
-	a, ok := whitelist[addr]
-	if !ok || !a.readable {
+	i := regIndex(addr)
+	if i < 0 || !whitelist[i].readable {
 		return 0, fmt.Errorf("%w: %#x", ErrNotWhitelisted, addr)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	val := d.regs[addr]
+	val := d.regs[i]
 	if d.icept != nil && (addr == PkgEnergyStatus || addr == DramEnergyStatus) {
-		last, hasLast := d.lastRet[addr]
-		v, err := d.icept.InterceptRead(addr, d.pollTime, val, last, hasLast)
+		v, err := d.icept.InterceptRead(addr, d.pollTime, val, d.lastRet[i], d.hasLast[i])
 		if err != nil {
 			return 0, err
 		}
-		if d.lastRet == nil {
-			d.lastRet = make(map[uint64]uint64, 2)
-		}
-		d.lastRet[addr] = v
+		d.lastRet[i] = v
+		d.hasLast[i] = true
 		return v, nil
 	}
 	return val, nil
@@ -159,16 +232,16 @@ func (d *Device) Read(addr uint64) (uint64, error) {
 // Write stores val into the register at addr, enforcing the whitelist's
 // write permissions.
 func (d *Device) Write(addr, val uint64) error {
-	a, ok := whitelist[addr]
-	if !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return fmt.Errorf("%w: %#x", ErrNotWhitelisted, addr)
 	}
-	if !a.writable {
+	if !whitelist[i].writable {
 		return fmt.Errorf("%w: %#x", ErrReadOnly, addr)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.regs[addr] = val
+	d.regs[i] = val
 	return nil
 }
 
@@ -180,16 +253,16 @@ func (d *Device) AccumulateEnergy(pkgJoules, dramJoules float64) {
 	defer d.mu.Unlock()
 	d.pkgEnergyFrac += pkgJoules * (1 << energyUnitExp)
 	d.dramEnergyFrac += dramJoules * (1 << energyUnitExp)
-	commit := func(frac *float64, addr uint64) {
+	commit := func(frac *float64, reg int) {
 		if *frac < 1 {
 			return
 		}
 		units := uint64(*frac)
 		*frac -= float64(units)
-		d.regs[addr] = (d.regs[addr] + units) & 0xFFFFFFFF
+		d.regs[reg] = (d.regs[reg] + units) & 0xFFFFFFFF
 	}
-	commit(&d.pkgEnergyFrac, PkgEnergyStatus)
-	commit(&d.dramEnergyFrac, DramEnergyStatus)
+	commit(&d.pkgEnergyFrac, regPkgEnergy)
+	commit(&d.dramEnergyFrac, regDramEnergy)
 }
 
 // SetPerfStatus records the currently delivered core ratio (frequency in
@@ -198,7 +271,7 @@ func (d *Device) AccumulateEnergy(pkgJoules, dramJoules float64) {
 func (d *Device) SetPerfStatus(ratio uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.regs[IA32PerfStatus] = (ratio & 0xFF) << 8
+	d.regs[regPerfStatus] = (ratio & 0xFF) << 8
 }
 
 // --- Bitfield codecs -------------------------------------------------------

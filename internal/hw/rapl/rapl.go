@@ -133,7 +133,27 @@ func (c *Controller) SetFaultModel(f FaultModel) { c.faults = f }
 
 // NewController attaches a RAPL controller to a module and its MSR device.
 func NewController(mod *module.Module, dev *msr.Device, control ControlModel, seed uint64) *Controller {
-	return &Controller{mod: mod, dev: dev, control: control, seed: seed}
+	c := &Controller{}
+	c.Init(mod, dev, control, seed)
+	return c
+}
+
+// Init (re)initialises the controller in place: attachment fields are set,
+// the listener and fault model are detached, and the 64-bit counter
+// extension is cleared. Every field is written, so a controller reset
+// through Init is bit-identical to a fresh one — required for pooled
+// replica reuse (a stale extension origin would shift quantised energy
+// deltas). Must not race with concurrent use; callers reset between runs.
+func (c *Controller) Init(mod *module.Module, dev *msr.Device, control ControlModel, seed uint64) {
+	c.mod = mod
+	c.dev = dev
+	c.control = control
+	c.seed = seed
+	c.listener = nil
+	c.faults = nil
+	c.extPkg, c.extDram = 0, 0
+	c.lastPkg, c.lastDram = 0, 0
+	c.extInit = false
 }
 
 // Module returns the controlled module.

@@ -100,10 +100,12 @@ func Analyze(fw *core.Framework, bench *workload.Benchmark, budget units.Watts,
 	res := &Result{Bench: bench.Name, Budget: budget, Best: -1}
 	// Every configuration reuses modules [0, n), so concurrent points would
 	// fight over the same RAPL limits and pinned frequencies on a shared
-	// system — each sweep point therefore runs on its own framework clone.
-	// The clones measure byte-identically to the original, and the serial
-	// path takes the same clone-per-point route, so the curve is identical
+	// system — each sweep point therefore runs on its own framework replica,
+	// borrowed from a pool (reset to fresh-clone state between points).
+	// The replicas measure byte-identically to the original, and the serial
+	// path takes the same replica-per-point route, so the curve is identical
 	// for every worker count (fw.Workers; < 1 selects GOMAXPROCS).
+	pool := core.NewReplicaPool(fw)
 	var err error
 	res.Points, err = parallel.Map(fw.Workers, len(counts), func(i int) (Point, error) {
 		n := counts[i]
@@ -113,7 +115,9 @@ func Analyze(fw *core.Framework, bench *workload.Benchmark, budget units.Watts,
 		}
 		scaled := StrongScaled(bench, refRanks, n)
 		pt := Point{Modules: n, CmAvg: budget / units.Watts(float64(n))}
-		run, err := fw.Clone().Run(scaled, ids, budget, scheme)
+		cfw := pool.Get()
+		defer pool.Put(cfw)
+		run, err := cfw.Run(scaled, ids, budget, scheme)
 		if err == nil {
 			pt.Feasible = true
 			pt.Constrained = run.Alloc.Constrained

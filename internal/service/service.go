@@ -115,6 +115,9 @@ func (c Config) withDefaults() Config {
 type baseSystem struct {
 	spec cluster.Spec
 	fw   *core.Framework
+	// pool recycles replicas of fw for the hot solve path (serving seed,
+	// healthy, loaded size); replicas return reset to fresh-clone state.
+	pool *core.ReplicaPool
 }
 
 // calibration is a PMT-cache value: the calibrated table plus the PVT
@@ -177,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
 		}
-		s.base[key] = &baseSystem{spec: spec, fw: fw}
+		s.base[key] = &baseSystem{spec: spec, fw: fw, pool: core.NewReplicaPool(fw)}
 		s.names = append(s.names, spec.Name)
 	}
 	s.queue.run = s.runJob
@@ -386,13 +389,15 @@ func pmtKey(req SolveRequest) string {
 }
 
 // frameworkFor materialises the system a canonical request solves against.
-// The serving-seed, healthy, full-size case clones the owned base system
-// (cheap: the PVT is shared, module instantiation is a few RNG draws); any
+// The serving-seed, healthy, full-size case borrows a pooled replica of the
+// owned base system (release returns it reset for the next request); any
 // other seed, size or fault level builds and calibrates a fresh replica —
-// the genuinely cold path.
-func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (*core.Framework, error) {
+// the genuinely cold path, whose release is a no-op. Callers must invoke
+// release exactly once, after their last use of the framework.
+func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (fw *core.Framework, release func(), err error) {
 	if req.Seed == s.cfg.Seed && req.Faults == "" && req.Modules <= b.fw.Sys.NumModules() {
-		return b.fw.Clone(), nil
+		fw := b.pool.Get()
+		return fw, func() { b.pool.Put(fw) }, nil
 	}
 	n := req.Modules
 	if loaded := b.fw.Sys.NumModules(); n < loaded {
@@ -400,29 +405,34 @@ func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (*core.Framework,
 	}
 	sys, err := cluster.New(b.spec, n, req.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if req.Faults != "" {
 		level, err := faults.LevelByName(req.Faults, s.cfg.FaultHorizon)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		plan, err := faults.Generate(req.Seed, level.Spec, n)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys.InstallFaults(faults.MustInjector(plan))
 	}
-	return core.NewFrameworkWorkers(sys, nil, s.cfg.Workers)
+	fw, err = core.NewFrameworkWorkers(sys, nil, s.cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fw, func() {}, nil
 }
 
 // calibrate builds (or fetches) the calibrated PMT for a canonical request.
 func (s *Server) calibrate(req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
 	cal, err, _ := s.pmts.Do(pmtKey(req), func() (calibration, error) {
-		fw, err := s.frameworkFor(req, b)
+		fw, release, err := s.frameworkFor(req, b)
 		if err != nil {
 			return calibration{}, err
 		}
+		defer release()
 		ids, err := fw.Sys.AllocateFirst(req.Modules)
 		if err != nil {
 			return calibration{}, err
@@ -575,10 +585,11 @@ func (s *Server) runJob(j *job) {
 		if err != nil {
 			return nil, err
 		}
-		fw, err := s.frameworkFor(req, b)
+		fw, release, err := s.frameworkFor(req, b)
 		if err != nil {
 			return nil, err
 		}
+		defer release()
 		ids, err := fw.Sys.AllocateFirst(req.Modules)
 		if err != nil {
 			return nil, err

@@ -167,13 +167,40 @@ func (b *Benchmark) FrequencySensitivity(arch *module.Arch) float64 {
 
 // Program builds the benchmark's SPMD program for the given communicator
 // size. Halo patterns are laid out on a near-cubic 3-D torus.
+//
+// All per-rank operations are materialised once here: the simulator calls
+// Round once per rank per round in its hot loop, so returning prebuilt
+// (already boxed) ops keeps that loop allocation-free. Imbalance draws and
+// torus neighbour lists are likewise computed once per rank instead of once
+// per round.
 func (b *Benchmark) Program(size int, seed uint64) (simmpi.Program, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("workload: program size %d", size)
 	}
 	p := &program{bench: b, size: size, seed: seed}
-	if b.Comm == CommHalo3D {
+	p.computeOps = make([]simmpi.Op, size)
+	for rank := 0; rank < size; rank++ {
+		w := b.Imbalance(seed, rank)
+		p.computeOps[rank] = simmpi.Compute{
+			Cycles: b.CyclesPerIter * w,
+			Bytes:  b.BytesPerIter * w,
+		}
+	}
+	switch b.Comm {
+	case CommHalo3D:
 		p.topo = NewTorus3D(size)
+		p.commOps = make([]simmpi.Op, size)
+		// One flat backing array for every rank's neighbour list; capacity 6
+		// covers the worst case (±1 in three dimensions), so the sub-slices
+		// handed to Sendrecv ops stay valid — no reallocation can occur.
+		flat := make([]int, 0, 6*size)
+		for rank := 0; rank < size; rank++ {
+			start := len(flat)
+			flat = p.topo.AppendNeighbors(flat, rank)
+			p.commOps[rank] = simmpi.Sendrecv{Peers: flat[start:len(flat):len(flat)], Bytes: b.MsgBytes}
+		}
+	case CommAllreduce, CommFinalReduce:
+		p.commOp = simmpi.Allreduce{Bytes: b.MsgBytes}
 	}
 	return p, nil
 }
@@ -184,6 +211,13 @@ type program struct {
 	size  int
 	seed  uint64
 	topo  *Torus3D
+
+	// Prebuilt, pre-boxed operations (see Program). computeOps[rank] is the
+	// rank's compute op; commOps[rank] is its halo exchange; commOp is the
+	// shared collective for reduction patterns.
+	computeOps []simmpi.Op
+	commOps    []simmpi.Op
+	commOp     simmpi.Op
 }
 
 // Rounds implements simmpi.Program: one compute round per iteration, plus a
@@ -200,33 +234,24 @@ func (p *program) Rounds() int {
 	}
 }
 
-// Round implements simmpi.Program.
+// Round implements simmpi.Program by indexing the prebuilt op tables.
 func (p *program) Round(rank, r int) simmpi.Op {
-	b := p.bench
-	switch b.Comm {
+	switch p.bench.Comm {
 	case CommHalo3D, CommAllreduce:
 		if r%2 == 0 {
-			return p.compute(rank)
+			return p.computeOps[rank]
 		}
-		if b.Comm == CommHalo3D {
-			return simmpi.Sendrecv{Peers: p.topo.Neighbors(rank), Bytes: b.MsgBytes}
+		if p.bench.Comm == CommHalo3D {
+			return p.commOps[rank]
 		}
-		return simmpi.Allreduce{Bytes: b.MsgBytes}
+		return p.commOp
 	case CommFinalReduce:
-		if r < b.Iterations {
-			return p.compute(rank)
+		if r < p.bench.Iterations {
+			return p.computeOps[rank]
 		}
-		return simmpi.Allreduce{Bytes: b.MsgBytes}
+		return p.commOp
 	default:
-		return p.compute(rank)
-	}
-}
-
-func (p *program) compute(rank int) simmpi.Compute {
-	w := p.bench.Imbalance(p.seed, rank)
-	return simmpi.Compute{
-		Cycles: p.bench.CyclesPerIter * w,
-		Bytes:  p.bench.BytesPerIter * w,
+		return p.computeOps[rank]
 	}
 }
 
@@ -298,26 +323,48 @@ func (t *Torus3D) rank(x, y, z int) int {
 // Neighbors returns the distinct ±1 torus neighbours of rank in each
 // dimension with extent > 1, excluding rank itself.
 func (t *Torus3D) Neighbors(rank int) []int {
+	return t.AppendNeighbors(nil, rank)
+}
+
+// AppendNeighbors appends rank's neighbours (same set and order as
+// Neighbors) to dst and returns the extended slice. With a dst of
+// sufficient capacity it does not allocate, which lets Program pack every
+// rank's list into one flat backing array.
+func (t *Torus3D) AppendNeighbors(dst []int, rank int) []int {
 	x, y, z := t.coords(rank)
-	seen := map[int]bool{rank: true}
-	var out []int
-	add := func(r int) {
-		if !seen[r] {
-			seen[r] = true
-			out = append(out, r)
-		}
-	}
+	var cand [6]int
+	n := 0
 	if d := t.Dims[0]; d > 1 {
-		add(t.rank((x+1)%d, y, z))
-		add(t.rank((x+d-1)%d, y, z))
+		cand[n] = t.rank((x+1)%d, y, z)
+		cand[n+1] = t.rank((x+d-1)%d, y, z)
+		n += 2
 	}
 	if d := t.Dims[1]; d > 1 {
-		add(t.rank(x, (y+1)%d, z))
-		add(t.rank(x, (y+d-1)%d, z))
+		cand[n] = t.rank(x, (y+1)%d, z)
+		cand[n+1] = t.rank(x, (y+d-1)%d, z)
+		n += 2
 	}
 	if d := t.Dims[2]; d > 1 {
-		add(t.rank(x, y, (z+1)%d))
-		add(t.rank(x, y, (z+d-1)%d))
+		cand[n] = t.rank(x, y, (z+1)%d)
+		cand[n+1] = t.rank(x, y, (z+d-1)%d)
+		n += 2
 	}
-	return out
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		r := cand[i]
+		if r == rank {
+			continue
+		}
+		dup := false
+		for _, v := range dst[base:] {
+			if v == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, r)
+		}
+	}
+	return dst
 }
