@@ -20,6 +20,7 @@ import (
 	"sync"
 	"testing"
 
+	"varpower/internal/attrib"
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/experiments"
@@ -577,6 +578,25 @@ func BenchmarkServeSolve(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Attribution (internal/attrib) ---------------------------------------------
+
+// BenchmarkAttribSample measures the attribution collector's per-sample hot
+// path — one residual pushed into a module's drift ring — which runs at the
+// collector's sampling rate on every live run and must not allocate in
+// steady state (benchgate.json caps it at 2 allocs/op).
+func BenchmarkAttribSample(b *testing.B) {
+	c := attrib.New(attrib.Config{})
+	const modules = 64
+	for m := 0; m < modules; m++ {
+		c.Sample(m, 1.0) // pre-size every ring
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(i%modules, 1.0)
+	}
 }
 
 func floatName(prefix string, v float64) string {

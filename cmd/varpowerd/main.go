@@ -19,6 +19,8 @@
 //	POST /v1/solve       budget solve (cached, coalesced)
 //	POST /v1/jobs        enqueue a simulated run (429 + Retry-After when full)
 //	GET  /v1/jobs/{id}   job status / result
+//	GET  /v1/attrib/{sys} live attribution + drift report
+//	POST /v1/recalibrate incremental PVT refresh of drifting modules
 //	GET  /v1/metrics     telemetry registry (?format=prom|json|csv)
 //	/debug/...           pprof and expvar
 //
@@ -31,7 +33,12 @@
 // it (cold unique-seed solves, then a repeated-key hammer from N
 // goroutines), prints both phases' throughput and the cache speedup, and
 // exits nonzero if the speedup is below 5× — the serving layer's acceptance
-// gate.
+// gate. It then boots a second in-process instance over a *drifting*
+// cluster (one module's cap enforcement holding 1.2× the programmed limit)
+// and drives the continuous-observability loop through the public API
+// (loadgen.DriftCheck): jobs feed the attribution collector, GET /v1/attrib
+// must flag the drifter, POST /v1/recalibrate must splice a refreshed PVT,
+// and the next /v1/solve must be an uncached answer with a different α.
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"varpower/internal/cliutil"
+	"varpower/internal/faults"
 	"varpower/internal/service"
 	"varpower/internal/service/loadgen"
 	"varpower/internal/telemetry"
@@ -83,6 +91,10 @@ func main() {
 		QueueSize:  *queueSize,
 		JobWorkers: *jobWorkers,
 		CacheSize:  *cacheSize,
+		// -faults (cliutil) installs the plan on every owned system, so a
+		// drifting cluster can be served and repaired through /v1/attrib +
+		// /v1/recalibrate without the -selftest harness.
+		Faults: obs.FaultPlan(),
 	}
 	if *systems != "" {
 		for _, s := range strings.Split(*systems, ",") {
@@ -152,7 +164,8 @@ func shutdown(hs *telemetry.Server, srv *service.Server, timeout time.Duration, 
 }
 
 // runSelftest hammers the live instance through the public client and
-// enforces the >= 5x cache-speedup acceptance gate.
+// enforces the >= 5x cache-speedup acceptance gate, then runs the
+// drift-loop gate against a dedicated drifting instance.
 func runSelftest(addr string, hotRequests, clients int) error {
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
 		BaseURL:     "http://" + addr,
@@ -166,7 +179,47 @@ func runSelftest(addr string, hotRequests, clients int) error {
 	if s := rep.Speedup(); s < 5 {
 		return fmt.Errorf("selftest: cache speedup %.1fx below the 5x gate", s)
 	}
+	if err := runDriftSelftest(); err != nil {
+		return err
+	}
 	fmt.Println("selftest: PASS")
+	return nil
+}
+
+// runDriftSelftest boots an in-process daemon whose owned HA8K has a
+// drifting cap (module 5 enforcing 1.2× the programmed limit) and drives
+// the attribution → drift-flag → recalibration → corrected-solve loop
+// through the public API.
+func runDriftSelftest() error {
+	plan := &faults.Plan{
+		Name:   "selftest-drift",
+		Events: []faults.Event{{Module: 5, Kind: faults.KindCapDrift, Magnitude: 1.2}},
+	}
+	srv, err := service.New(service.Config{
+		Systems: []string{"HA8K"},
+		Modules: 48,
+		Faults:  plan,
+	})
+	if err != nil {
+		return fmt.Errorf("selftest: drifting instance: %w", err)
+	}
+	hs, err := telemetry.StartServer("127.0.0.1:0", srv.Handler())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		_ = srv.Drain(ctx)
+	}()
+	rep, err := loadgen.DriftCheck(context.Background(), loadgen.DriftOptions{
+		BaseURL: "http://" + hs.Addr(),
+	})
+	if err != nil {
+		return err
+	}
+	loadgen.WriteDriftReport(os.Stdout, rep)
 	return nil
 }
 

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience|fleet]
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience|fleet|drift]
 //	       [-modules N] [-seed S] [-workers W] [-faults FILE]
-//	       [-record FILE] [-record-hz HZ]
+//	       [-record FILE] [-record-hz HZ] [-attrib FILE] [-attrib-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //
 // -modules scales the HA8K experiments (default 1920, the paper's size);
@@ -41,6 +41,15 @@
 // sweep, calibration, solve, one measured MHD run — on a 100,000-module
 // scaled HA8K system (override with -modules) and prints the result plus a
 // wall-clock phase profile; it too only runs when named explicitly.
+//
+// The "drift" experiment (explicit-only) closes the continuous
+// observability loop offline: tenant-labelled jobs on a cluster with
+// drifting cap enforcement (-faults overrides the default cap-drift
+// ladder) feed the attribution collector, the drift detector flags the
+// drifters, and an incremental PVT refresh re-measures only those and
+// re-solves the allocation. -attrib exports the per-job energy ledger and
+// per-module drift table it produced (JSON or CSV by extension, byte-
+// identical run to run); -attrib-hz tunes the collector's sampling rate.
 package main
 
 import (
@@ -56,7 +65,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience, fleet)")
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience, fleet, drift)")
 		modules = flag.Int("modules", 1920, "HA8K module count")
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
@@ -73,7 +82,7 @@ func main() {
 		fail(err)
 	}
 	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan()}
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan(), Attrib: obs.Attrib()}
 	// The fleet experiment defaults to its own 100k-module scale; -modules
 	// overrides it only when the flag was given explicitly.
 	flag.Visit(func(f *flag.Flag) {
@@ -210,6 +219,21 @@ func run(exp string, o experiments.Options) error {
 			return err
 		}
 		if err := experiments.RenderFleet(w, fr); err != nil {
+			return err
+		}
+	}
+	// drift runs the continuous attribution → drift-detection →
+	// recalibration loop against a cluster with drifting cap enforcement;
+	// it only runs when asked for explicitly (its runs repeat fleet-style
+	// jobs and it installs a fault plan by default).
+	if exp == "drift" {
+		ran = true
+		report.Section(w, "Drift")
+		dr, err := experiments.Drift(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderDrift(w, dr); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,478 @@
+// Package attrib closes the loop the paper leaves open: its Power Variation
+// Table is calibrated once, at install time, and trusted forever, but a
+// real power-constrained fleet sees module power drift away from that table
+// — cap enforcement drifting, sensors aging, input-dependent draw. This
+// package is the continuous-observability side of the answer:
+//
+//   - a Collector ingests every measured run as a stream of per-module
+//     power samples (at a configurable virtual-time rate) and attributes
+//     each module's measured energy to the job running on it, split into
+//     busy and wait shares with the idle floor accounted separately, so
+//     per-tenant/per-job energy accounting falls out of runs the system was
+//     executing anyway;
+//   - on the same sample stream, a streaming drift detector keeps a
+//     windowed observed-vs-PVT-predicted power residual per module and
+//     scores the windows with the MAD-outlier machinery shared with the PVT
+//     quarantine (internal/faults.RobustStats), flagging modules whose
+//     enforcement or draw has departed from the model;
+//   - flagged modules feed the *incremental* recalibration path
+//     (core.RefreshPVT): re-measure only the drifters, splice the result
+//     into the live PVT, no full sweep, no restart.
+//
+// Everything is deterministic: attribution reduces energies in rank order,
+// snapshots walk modules and jobs in stable order, and a run's observation
+// is a pure function of its measured Result — so two runs of the same
+// experiment export byte-identical attribution CSVs at any worker count.
+//
+// The exported telemetry families are varpower_attrib_* (collector
+// activity), varpower_energy_* (attributed joules) and varpower_drift_*
+// (detector state).
+package attrib
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"varpower/internal/faults"
+	"varpower/internal/flight"
+	"varpower/internal/hw/sensors"
+	"varpower/internal/telemetry"
+	"varpower/internal/units"
+)
+
+// Collector telemetry. Per-tenant energy counters are created lazily under
+// the varpower_energy_tenant_joules_total family; tenants are operator
+// labels (like metric labels generally), so callers keep the set bounded.
+var (
+	mSamples = telemetry.Default().Counter("varpower_attrib_samples_total",
+		"Per-module power-residual samples ingested by the attribution collector.", nil)
+	mRuns = telemetry.Default().Counter("varpower_attrib_runs_total",
+		"Measured runs observed by the attribution collector.", nil)
+	mJobs = telemetry.Default().Gauge("varpower_attrib_jobs",
+		"Distinct (tenant, job) accounts the attribution collector is tracking.", nil)
+	mEnergy = func() map[string]*telemetry.Counter {
+		m := make(map[string]*telemetry.Counter, 3)
+		for _, comp := range []string{"busy", "wait", "idle"} {
+			m[comp] = telemetry.Default().Counter("varpower_energy_attributed_joules_total",
+				"Measured module energy attributed by component: busy/wait go to the job, idle is the floor draw.",
+				telemetry.Labels{"component": comp})
+		}
+		return m
+	}()
+	mDriftChecks = telemetry.Default().Counter("varpower_drift_checks_total",
+		"Drift-detector snapshot evaluations.", nil)
+	mDriftFlagged = telemetry.Default().Gauge("varpower_drift_flagged_modules",
+		"Modules currently flagged as drifting by the attribution collector.", nil)
+	mDriftMaxScore = telemetry.Default().Gauge("varpower_drift_max_score",
+		"Largest per-module drift score (MAD multiples) in the latest snapshot.", nil)
+)
+
+// tenantEnergy returns the per-tenant attributed-energy counter.
+func tenantEnergy(tenant string) *telemetry.Counter {
+	return telemetry.Default().Counter("varpower_energy_tenant_joules_total",
+		"Measured module energy attributed to jobs, by tenant (idle floor excluded).",
+		telemetry.Labels{"tenant": tenant})
+}
+
+// Config parameterises a Collector. The zero value selects all defaults.
+type Config struct {
+	// Hz is the virtual-time sampling rate: a run of elapsed E seconds
+	// contributes the Hz-spaced sample count covering E (at least one,
+	// sensors.SampleCount semantics) per module, clamped to Window.
+	// Default 10.
+	Hz float64
+	// Window is the per-module residual ring size the drift detector scores
+	// over (default 64). Samples beyond it overwrite the oldest.
+	Window int
+	// MADK is the outlier threshold in MAD multiples for drift flagging
+	// (<= 0 selects faults.MADThreshold, shared with the PVT quarantine).
+	MADK float64
+	// MinDriftFrac is the absolute guard: a module is flagged only when its
+	// windowed residual also departs from 1 by at least this fraction, so
+	// counter-quantization noise can never flag a healthy fleet. Default
+	// 0.02 — far below the smallest injectable cap-drift magnitude (1.05).
+	MinDriftFrac float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Hz <= 0 {
+		c.Hz = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MADK <= 0 {
+		c.MADK = faults.MADThreshold
+	}
+	if c.MinDriftFrac <= 0 {
+		c.MinDriftFrac = 0.02
+	}
+	return c
+}
+
+// RankObservation is one rank's slice of a measured run, prepared by
+// internal/measure: the measured module energy next to the control plane's
+// model expectation for the same busy/wait profile.
+type RankObservation struct {
+	Rank   int
+	Module int
+
+	Busy units.Seconds
+	Wait units.Seconds
+
+	// MeasuredJ is the energy the module's counters reported (package +
+	// DRAM, partial if polls were dropped).
+	MeasuredJ units.Joules
+	// ExpectedJ is the PVT/control-plane prediction for the same interval:
+	// the programmed cap (or resolved operating point) integrated over the
+	// rank's busy/wait profile. The drift residual is MeasuredJ/ExpectedJ.
+	ExpectedJ units.Joules
+	// BusyShare is the model's fraction of the job-attributable energy spent
+	// in busy phases; the wait share is its complement.
+	BusyShare float64
+	// IdleFloorW is the module's idle floor draw; floor energy is accounted
+	// separately from the job split.
+	IdleFloorW units.Watts
+	// Untrusted marks ranks whose measured energy is partial or perturbed
+	// (dead mid-run, dropped polls, sensor faults): they are attributed but
+	// excluded from drift scoring.
+	Untrusted bool
+}
+
+// RunObservation is one measured run as the collector ingests it.
+type RunObservation struct {
+	// Tenant and JobID identify the energy account ("default" / the run
+	// label when empty). Like metric labels, the caller keeps the set
+	// bounded.
+	Tenant string
+	JobID  string
+	// Workload names the benchmark for the per-job report.
+	Workload string
+	Elapsed  units.Seconds
+	Ranks    []RankObservation
+}
+
+// jobAccount accumulates one (tenant, job) energy ledger.
+type jobAccount struct {
+	tenant, job, workload string
+	runs                  int
+	elapsedS              float64
+	busyJ, waitJ, idleJ   float64
+}
+
+// moduleWindow is one module's residual ring.
+type moduleWindow struct {
+	ring      []float64
+	idx       int
+	n         int // total trusted samples pushed
+	untrusted int // untrusted run observations (excluded from the ring)
+}
+
+// Collector is the continuous attribution + drift-detection engine. Safe
+// for concurrent use; snapshots are deterministic in the observation
+// multiset (ingest order only affects the first-seen job ordering).
+type Collector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*jobAccount
+	order   []string // job keys, first-observed order
+	mods    map[int]*moduleWindow
+	runs    int
+	samples int
+
+	recorder *flight.Recorder
+	emitted  map[int]bool // modules whose drift-flag event is already committed
+}
+
+// New returns a collector.
+func New(cfg Config) *Collector {
+	return &Collector{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*jobAccount),
+		mods:    make(map[int]*moduleWindow),
+		emitted: make(map[int]bool),
+	}
+}
+
+// SetRecorder attaches a flight recorder: each Snapshot commits one
+// drift-flag event per newly flagged module. Install before ingesting.
+func (c *Collector) SetRecorder(r *flight.Recorder) { c.recorder = r }
+
+// Sample pushes one residual observation for a module — the per-sample hot
+// path (amortised zero allocations; see BenchmarkAttribSample).
+func (c *Collector) Sample(module int, residual float64) {
+	c.mu.Lock()
+	w := c.mods[module]
+	if w == nil {
+		w = &moduleWindow{ring: make([]float64, c.cfg.Window)}
+		c.mods[module] = w
+	}
+	w.ring[w.idx] = residual
+	w.idx++
+	if w.idx == len(w.ring) {
+		w.idx = 0
+	}
+	w.n++
+	c.samples++
+	c.mu.Unlock()
+	mSamples.Inc()
+}
+
+// ObserveRun ingests one measured run: attributes each rank's measured
+// energy (idle floor first, the remainder split busy/wait by the model
+// weights) into the run's job account, and streams the run's Hz-spaced
+// residual samples per trusted module into the drift windows.
+func (c *Collector) ObserveRun(o RunObservation) {
+	if len(o.Ranks) == 0 {
+		return
+	}
+	tenant := o.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	job := o.JobID
+	if job == "" {
+		job = o.Workload
+	}
+	if job == "" {
+		job = "unlabeled"
+	}
+	nsamp := sensors.SampleCount(o.Elapsed, units.Seconds(1/c.cfg.Hz))
+	if nsamp > c.cfg.Window {
+		nsamp = c.cfg.Window
+	}
+
+	// Attribute in rank order so the float accumulation is bit-identical
+	// for every upstream worker count.
+	var busyJ, waitJ, idleJ float64
+	for _, r := range o.Ranks {
+		span := float64(r.Busy + r.Wait)
+		measured := float64(r.MeasuredJ)
+		floor := float64(r.IdleFloorW) * span
+		if floor > measured {
+			// A partial (dropped-poll) measurement can undercut the floor;
+			// attribute what was actually observed.
+			floor = measured
+		}
+		jobPart := measured - floor
+		busy := jobPart * r.BusyShare
+		busyJ += busy
+		waitJ += jobPart - busy
+		idleJ += floor
+	}
+
+	c.mu.Lock()
+	key := tenant + "\x00" + job
+	acct := c.jobs[key]
+	if acct == nil {
+		acct = &jobAccount{tenant: tenant, job: job, workload: o.Workload}
+		c.jobs[key] = acct
+		c.order = append(c.order, key)
+	}
+	acct.runs++
+	acct.elapsedS += float64(o.Elapsed)
+	acct.busyJ += busyJ
+	acct.waitJ += waitJ
+	acct.idleJ += idleJ
+	nJobs := len(c.jobs)
+	c.runs++
+	c.mu.Unlock()
+
+	// Drift windows: each trusted module's residual is steady over the run
+	// (steady-state simulation), sampled at the configured rate.
+	for _, r := range o.Ranks {
+		if r.Untrusted || r.ExpectedJ <= 0 {
+			c.mu.Lock()
+			w := c.mods[r.Module]
+			if w == nil {
+				w = &moduleWindow{ring: make([]float64, c.cfg.Window)}
+				c.mods[r.Module] = w
+			}
+			w.untrusted++
+			c.mu.Unlock()
+			continue
+		}
+		residual := float64(r.MeasuredJ) / float64(r.ExpectedJ)
+		for k := 0; k < nsamp; k++ {
+			c.Sample(r.Module, residual)
+		}
+	}
+
+	mRuns.Inc()
+	mJobs.Set(float64(nJobs))
+	mEnergy["busy"].Add(busyJ)
+	mEnergy["wait"].Add(waitJ)
+	mEnergy["idle"].Add(idleJ)
+	tenantEnergy(tenant).Add(busyJ + waitJ)
+}
+
+// JobEnergy is one (tenant, job) row of the energy report.
+type JobEnergy struct {
+	Tenant   string  `json:"tenant"`
+	Job      string  `json:"job"`
+	Workload string  `json:"workload,omitempty"`
+	Runs     int     `json:"runs"`
+	ElapsedS float64 `json:"elapsed_s"`
+	BusyJ    float64 `json:"busy_j"`
+	WaitJ    float64 `json:"wait_j"`
+	IdleJ    float64 `json:"idle_j"`
+	TotalJ   float64 `json:"total_j"`
+}
+
+// ModuleDrift is one module's drift-detector state.
+type ModuleDrift struct {
+	Module int `json:"module"`
+	// Samples counts trusted residual samples ingested; Untrusted counts
+	// run observations excluded from scoring (dead, sensor-faulted).
+	Samples   int `json:"samples"`
+	Untrusted int `json:"untrusted,omitempty"`
+	// Residual is the windowed mean observed/predicted power ratio
+	// (≈1 healthy; the cap-drift magnitude when enforcement drifted).
+	Residual float64 `json:"residual"`
+	// Score is |Residual − population median| in MAD multiples (the same
+	// units faults.Outliers thresholds on).
+	Score   float64 `json:"score"`
+	Scored  bool    `json:"scored"`
+	Flagged bool    `json:"flagged"`
+}
+
+// Report is a deterministic snapshot of the collector: the per-job energy
+// ledger (first-observed order) and the per-module drift table (module
+// order).
+type Report struct {
+	Runs    int           `json:"runs"`
+	Samples int           `json:"samples"`
+	Jobs    []JobEnergy   `json:"jobs"`
+	Modules []ModuleDrift `json:"modules"`
+	// Flagged lists the drifting modules in ascending order — the argument
+	// an incremental recalibration (core.RefreshPVT) wants.
+	Flagged []int `json:"flagged,omitempty"`
+}
+
+// TotalJ sums every job's attributed energy (idle floor included).
+func (r *Report) TotalJ() float64 {
+	var sum float64
+	for _, j := range r.Jobs {
+		sum += j.TotalJ
+	}
+	return sum
+}
+
+// Snapshot scores the drift windows and renders the full report. A module
+// is flagged only when it is both a MAD outlier against the scored
+// population (threshold Config.MADK, shared machinery with the PVT
+// quarantine) and its residual departs from 1 by at least
+// Config.MinDriftFrac — so a fleet-wide model bias shifts every residual
+// without flagging anyone, and quantization noise never trips the absolute
+// guard. Snapshot also publishes the varpower_drift_* gauges and commits a
+// drift-flag flight event for each newly flagged module.
+func (c *Collector) Snapshot() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mDriftChecks.Inc()
+
+	rep := &Report{Runs: c.runs, Samples: c.samples}
+	rep.Jobs = make([]JobEnergy, 0, len(c.order))
+	for _, key := range c.order {
+		a := c.jobs[key]
+		rep.Jobs = append(rep.Jobs, JobEnergy{
+			Tenant: a.tenant, Job: a.job, Workload: a.workload,
+			Runs: a.runs, ElapsedS: a.elapsedS,
+			BusyJ: a.busyJ, WaitJ: a.waitJ, IdleJ: a.idleJ,
+			TotalJ: a.busyJ + a.waitJ + a.idleJ,
+		})
+	}
+
+	ids := make([]int, 0, len(c.mods))
+	for id := range c.mods {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	rep.Modules = make([]ModuleDrift, 0, len(ids))
+	scoredIdx := make([]int, 0, len(ids)) // indices into rep.Modules
+	residuals := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		w := c.mods[id]
+		d := ModuleDrift{Module: id, Samples: w.n, Untrusted: w.untrusted}
+		if w.n > 0 {
+			filled := w.n
+			if filled > len(w.ring) {
+				filled = len(w.ring)
+			}
+			var sum float64
+			for i := 0; i < filled; i++ {
+				sum += w.ring[i]
+			}
+			d.Residual = sum / float64(filled)
+			d.Scored = true
+			scoredIdx = append(scoredIdx, len(rep.Modules))
+			residuals = append(residuals, d.Residual)
+		}
+		rep.Modules = append(rep.Modules, d)
+	}
+
+	if len(residuals) > 0 {
+		med, scale := faults.RobustStats(residuals)
+		outlier := make(map[int]bool)
+		for _, i := range faults.Outliers(residuals, c.cfg.MADK) {
+			outlier[scoredIdx[i]] = true
+		}
+		maxScore := 0.0
+		for k, mi := range scoredIdx {
+			d := &rep.Modules[mi]
+			d.Score = math.Abs(residuals[k]-med) / scale
+			if d.Score > maxScore {
+				maxScore = d.Score
+			}
+			// With fewer than 3 scored modules there is no population to be
+			// an outlier of; the absolute guard alone decides.
+			madHit := outlier[mi] || len(residuals) < 3
+			if madHit && math.Abs(d.Residual-1) >= c.cfg.MinDriftFrac {
+				d.Flagged = true
+				rep.Flagged = append(rep.Flagged, d.Module)
+			}
+		}
+		mDriftMaxScore.Set(maxScore)
+	}
+	mDriftFlagged.Set(float64(len(rep.Flagged)))
+
+	if c.recorder != nil {
+		var cap *flight.Capture
+		for _, mi := range rep.Flagged {
+			if c.emitted[mi] {
+				continue
+			}
+			c.emitted[mi] = true
+			if cap == nil {
+				cap = c.recorder.NewCapture("attrib/drift")
+			}
+			for i := range rep.Modules {
+				if rep.Modules[i].Module == mi {
+					cap.Event(mi, flight.EventDriftFlag, rep.Modules[i].Residual)
+					break
+				}
+			}
+		}
+		if cap != nil {
+			cap.Seal(0)
+			c.recorder.Commit(cap)
+		}
+	}
+	return rep
+}
+
+// Reset clears the drift windows and the emitted-event markers for the
+// given modules — call after recalibrating them, so the detector re-judges
+// the refreshed entries on fresh evidence instead of the pre-splice
+// history. Energy accounting is untouched.
+func (c *Collector) Reset(modules []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range modules {
+		delete(c.mods, id)
+		delete(c.emitted, id)
+	}
+}

@@ -1,0 +1,188 @@
+package attrib
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"varpower/internal/units"
+)
+
+// obs builds a one-rank run observation with the given measured/expected
+// energies on the given module.
+func obs(module int, measured, expected float64) RunObservation {
+	return RunObservation{
+		Tenant: "t", JobID: "j", Workload: "w", Elapsed: 10,
+		Ranks: []RankObservation{{
+			Rank: 0, Module: module, Busy: 8, Wait: 2,
+			MeasuredJ: units.Joules(measured), ExpectedJ: units.Joules(expected),
+			BusyShare: 0.9, IdleFloorW: 2,
+		}},
+	}
+}
+
+func TestAttributionConservation(t *testing.T) {
+	c := New(Config{})
+	runs := []RunObservation{
+		obs(0, 1000, 1000),
+		obs(1, 987.654321, 1000),
+		obs(2, 15, 1000), // measured below the idle floor (partial read)
+	}
+	var want float64
+	for _, r := range runs {
+		c.ObserveRun(r)
+		want += float64(r.Ranks[0].MeasuredJ)
+	}
+	rep := c.Snapshot()
+	if got := rep.TotalJ(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("attributed %v J, measured %v J", got, want)
+	}
+	for _, j := range rep.Jobs {
+		if j.BusyJ < 0 || j.WaitJ < 0 || j.IdleJ < 0 {
+			t.Fatalf("negative component in %+v", j)
+		}
+	}
+}
+
+func TestFlaggingDriftedModule(t *testing.T) {
+	c := New(Config{})
+	for m := 0; m < 10; m++ {
+		c.ObserveRun(obs(m, 1000, 1000))
+	}
+	c.ObserveRun(obs(10, 1200, 1000))
+	rep := c.Snapshot()
+	if !reflect.DeepEqual(rep.Flagged, []int{10}) {
+		t.Fatalf("flagged %v, want [10]", rep.Flagged)
+	}
+	for _, m := range rep.Modules {
+		if m.Module == 10 && math.Abs(m.Residual-1.2) > 1e-12 {
+			t.Fatalf("module 10 residual %v, want 1.2", m.Residual)
+		}
+	}
+}
+
+func TestFleetWideBiasNotFlagged(t *testing.T) {
+	// Every module 10% hot: a model bias, not a drifter — no outliers.
+	c := New(Config{})
+	for m := 0; m < 10; m++ {
+		c.ObserveRun(obs(m, 1100, 1000))
+	}
+	if rep := c.Snapshot(); len(rep.Flagged) != 0 {
+		t.Fatalf("fleet-wide bias flagged %v, want none", rep.Flagged)
+	}
+}
+
+func TestMinDriftGuardSuppressesNoise(t *testing.T) {
+	// One module a MAD outlier but within the absolute dead band.
+	c := New(Config{})
+	for m := 0; m < 10; m++ {
+		c.ObserveRun(obs(m, 1000, 1000))
+	}
+	c.ObserveRun(obs(10, 1000.5, 1000)) // residual 1.0005, guard is 0.02
+	if rep := c.Snapshot(); len(rep.Flagged) != 0 {
+		t.Fatalf("quantization-scale deviation flagged %v, want none", rep.Flagged)
+	}
+}
+
+func TestTinyPopulationUsesAbsoluteGuard(t *testing.T) {
+	// Below 3 scored modules there is no population for MAD; the absolute
+	// guard alone decides.
+	c := New(Config{})
+	c.ObserveRun(obs(0, 1000, 1000))
+	c.ObserveRun(obs(1, 1300, 1000))
+	rep := c.Snapshot()
+	if !reflect.DeepEqual(rep.Flagged, []int{1}) {
+		t.Fatalf("flagged %v, want [1]", rep.Flagged)
+	}
+}
+
+func TestUntrustedRanksExcludedFromScoring(t *testing.T) {
+	c := New(Config{})
+	for m := 0; m < 5; m++ {
+		c.ObserveRun(obs(m, 1000, 1000))
+	}
+	bad := obs(5, 9000, 1000)
+	bad.Ranks[0].Untrusted = true
+	c.ObserveRun(bad)
+	rep := c.Snapshot()
+	if len(rep.Flagged) != 0 {
+		t.Fatalf("untrusted rank flagged %v, want none", rep.Flagged)
+	}
+	for _, m := range rep.Modules {
+		if m.Module == 5 {
+			if m.Scored || m.Untrusted != 1 {
+				t.Fatalf("module 5 state %+v, want unscored with 1 untrusted", m)
+			}
+		}
+	}
+	// Its energy is still attributed.
+	if got := rep.TotalJ(); math.Abs(got-14000) > 1e-9*14000 {
+		t.Fatalf("attributed %v J, want 14000", got)
+	}
+}
+
+func TestSnapshotAndExportsDeterministic(t *testing.T) {
+	build := func() *Collector {
+		c := New(Config{})
+		for m := 0; m < 8; m++ {
+			c.ObserveRun(obs(m, 1000+float64(m), 1000))
+		}
+		c.ObserveRun(obs(3, 1250, 1000))
+		return c
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", a, b)
+	}
+	var ba, bb, bj bytes.Buffer
+	if err := a.WriteCSV(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("CSV exports differ")
+	}
+	if err := a.WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if bj.Len() == 0 {
+		t.Fatal("empty JSON export")
+	}
+}
+
+func TestResetClearsWindows(t *testing.T) {
+	c := New(Config{})
+	for m := 0; m < 5; m++ {
+		c.ObserveRun(obs(m, 1000, 1000))
+	}
+	c.ObserveRun(obs(5, 1200, 1000))
+	if rep := c.Snapshot(); !reflect.DeepEqual(rep.Flagged, []int{5}) {
+		t.Fatalf("flagged %v, want [5]", rep.Flagged)
+	}
+	c.Reset([]int{5})
+	rep := c.Snapshot()
+	if len(rep.Flagged) != 0 {
+		t.Fatalf("flagged %v after reset, want none", rep.Flagged)
+	}
+	for _, m := range rep.Modules {
+		if m.Module == 5 {
+			t.Fatalf("module 5 still has a window after reset: %+v", m)
+		}
+	}
+	// Energy accounting is untouched by Reset.
+	if len(rep.Jobs) != 1 || rep.Jobs[0].Runs != 6 {
+		t.Fatalf("job ledger perturbed by reset: %+v", rep.Jobs)
+	}
+}
+
+func TestSampleSteadyStateAllocs(t *testing.T) {
+	c := New(Config{})
+	c.Sample(0, 1) // window allocation happens once
+	allocs := testing.AllocsPerRun(1000, func() { c.Sample(0, 1.0) })
+	if allocs > 0 {
+		t.Fatalf("Sample allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

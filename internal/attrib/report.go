@@ -1,0 +1,60 @@
+// Report exporters: the per-job energy ledger and the per-module drift
+// table as CSV (deterministic, byte-stable across worker counts — CI
+// byte-compares two runs' exports) or indented JSON, selected by file
+// extension in internal/cliutil.
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV renders the report as two CSV sections — "# jobs" then
+// "# modules" — in one stream. Floats use fixed %.6f formatting so the
+// bytes are stable wherever the floats are.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# jobs runs=%d samples=%d\n", r.Runs, r.Samples); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "tenant,job,workload,runs,elapsed_s,busy_j,wait_j,idle_j,total_j\n"); err != nil {
+		return err
+	}
+	for _, j := range r.Jobs {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			csvField(j.Tenant), csvField(j.Job), csvField(j.Workload),
+			j.Runs, j.ElapsedS, j.BusyJ, j.WaitJ, j.IdleJ, j.TotalJ); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "# modules\nmodule,samples,untrusted,residual,score,scored,flagged\n"); err != nil {
+		return err
+	}
+	for _, m := range r.Modules {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%.6f,%t,%t\n",
+			m.Module, m.Samples, m.Untrusted, m.Residual, m.Score, m.Scored, m.Flagged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField strips the separator characters from free-text fields (tenant
+// and job names are operator labels, not arbitrary data).
+func csvField(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ',' || r == '\n' || r == '\r' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// WriteJSON renders the report as indented JSON (the per-job energy report
+// artifact CI uploads).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -19,6 +19,13 @@
 // fault-injection plan (internal/faults) and hands it to the command to
 // install on its systems — a shared way to run any command against the same
 // failing hardware.
+//
+// -attrib FILE enables the continuous power-attribution collector
+// (internal/attrib): the command hands it to its measured runs, and Close
+// exports the per-job energy ledger and per-module drift table (.json →
+// indented JSON, anything else → CSV). -attrib-hz tunes the collector's
+// virtual-time sampling rate. Like -record, attribution observes runs
+// without changing any simulated result.
 package cliutil
 
 import (
@@ -30,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"varpower/internal/attrib"
 	"varpower/internal/faults"
 	"varpower/internal/flight"
 	"varpower/internal/telemetry"
@@ -45,9 +53,12 @@ type Obs struct {
 	recordPath  string
 	recordHz    float64
 	faultsPath  string
+	attribPath  string
+	attribHz    float64
 
 	cmd       string
 	recorder  *flight.Recorder
+	collector *attrib.Collector
 	faultPlan *faults.Plan
 	httpSrv   *telemetry.Server
 	progMu    sync.Mutex
@@ -68,6 +79,8 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 	fs.StringVar(&o.recordPath, "record", "", "write a flight-recorder timeline of the serially executed runs to this file at exit (.trace/.json = Chrome trace-event JSON for Perfetto, .csv = samples CSV plus a .phases.csv companion, .html = self-contained timeline page); the analyzer report accompanies it as <path>.report.txt")
 	fs.Float64Var(&o.recordHz, "record-hz", flight.DefaultHz, "flight-recorder sampling rate in samples per simulated second (negative disables samples, keeping phases and events)")
 	fs.StringVar(&o.faultsPath, "faults", "", "load a deterministic fault-injection plan (JSON, see internal/faults) and install it on the command's systems")
+	fs.StringVar(&o.attribPath, "attrib", "", "run the continuous power-attribution collector over the command's measured runs and write its report to this file at exit (.json = indented JSON, anything else = CSV)")
+	fs.Float64Var(&o.attribHz, "attrib-hz", 0, "attribution collector sampling rate in samples per simulated second (0 = the collector default, 10)")
 	return o
 }
 
@@ -91,6 +104,14 @@ func (o *Obs) Start(cmd string) error {
 	}
 	if o.recordPath != "" {
 		o.recorder = flight.New(flight.Config{Hz: o.recordHz})
+	}
+	if o.attribPath != "" {
+		o.collector = attrib.New(attrib.Config{Hz: o.attribHz})
+		if o.recorder != nil {
+			// Drift-flag events land on the same timeline as the runs that
+			// produced the evidence.
+			o.collector.SetRecorder(o.recorder)
+		}
 	}
 	if o.httpAddr != "" {
 		srv, err := telemetry.StartServer(o.httpAddr, telemetry.DebugMux(telemetry.Default(), telemetry.DefaultTracer()))
@@ -120,6 +141,11 @@ func (o *Obs) Close() error {
 			_ = tr.WriteTree(os.Stderr)
 		}
 	}
+	if o.collector != nil {
+		if err := o.writeAttrib(); err != nil {
+			return err
+		}
+	}
 	if o.recorder != nil {
 		if err := o.writeRecord(); err != nil {
 			return err
@@ -143,6 +169,34 @@ func (o *Obs) Close() error {
 // Recorder returns the -record flight recorder, or nil when recording is
 // off. Commands hand it to the experiment engines' serially executed runs.
 func (o *Obs) Recorder() *flight.Recorder { return o.recorder }
+
+// Attrib returns the -attrib collector, or nil when attribution is off.
+// Commands hand it to their measured runs like the recorder.
+func (o *Obs) Attrib() *attrib.Collector { return o.collector }
+
+// writeAttrib snapshots the collector (running the drift detector, so its
+// gauges and flight events land before the -metrics dump and the -record
+// timeline are written) and exports the report in the format the -attrib
+// extension selects.
+func (o *Obs) writeAttrib() error {
+	rep := o.collector.Snapshot()
+	f, err := os.Create(o.attribPath)
+	if err != nil {
+		return fmt.Errorf("%s: write attribution report: %w", o.cmd, err)
+	}
+	defer f.Close()
+	if strings.ToLower(filepath.Ext(o.attribPath)) == ".json" {
+		err = rep.WriteJSON(f)
+	} else {
+		err = rep.WriteCSV(f)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: write attribution report: %w", o.cmd, err)
+	}
+	o.Infof("wrote attribution report to %s (%d jobs, %d modules, %d flagged)",
+		o.attribPath, len(rep.Jobs), len(rep.Modules), len(rep.Flagged))
+	return nil
+}
 
 // FaultPlan returns the -faults plan, or nil when no plan was loaded.
 func (o *Obs) FaultPlan() *faults.Plan { return o.faultPlan }

@@ -47,6 +47,8 @@ func (p *ReplicaPool) Put(fw *Framework) {
 		return
 	}
 	fw.Recorder = nil
+	fw.Attrib = nil
+	fw.Tenant, fw.JobID = "", ""
 	fw.Sys.Reset()
 	p.pool.Put(fw)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"varpower/internal/attrib"
 	"varpower/internal/cluster"
 	"varpower/internal/flight"
 	"varpower/internal/measure"
@@ -31,6 +32,17 @@ type Framework struct {
 	// commit runs in scheduling order and break trace determinism. Attach a
 	// recorder only to serially executed frameworks.
 	Recorder *flight.Recorder
+
+	// Attrib, when non-nil, streams the framework's final application runs
+	// (Execute) into the continuous power-attribution collector; PMT test
+	// runs and oracle measurements stay unobserved, mirroring Recorder.
+	// Clone does not copy it (sweep replicas would double-count energy);
+	// ReplicaPool.Put detaches it on return.
+	Attrib *attrib.Collector
+	// Tenant and JobID label Execute's runs in the collector's energy
+	// accounting (collector defaults apply when empty).
+	Tenant string
+	JobID  string
 }
 
 // NewFramework instantiates the framework, generating the system's PVT with
@@ -287,6 +299,9 @@ func (fw *Framework) Execute(bench *workload.Benchmark, moduleIDs []int, alloc *
 		Bench: bench, Modules: moduleIDs, Workers: fw.Workers,
 		Recorder:    fw.Recorder,
 		RecordLabel: fmt.Sprintf("%s/%v", bench.Name, scheme),
+		Attrib:      fw.Attrib,
+		Tenant:      fw.Tenant,
+		JobID:       fw.JobID,
 	}
 	if scheme.UsesFS() {
 		f := fw.Sys.Spec.Arch.QuantizeDown(alloc.Freq)

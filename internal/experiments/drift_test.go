@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"varpower/internal/attrib"
+	"varpower/internal/cluster"
+	"varpower/internal/core"
+	"varpower/internal/faults"
+	"varpower/internal/units"
+	"varpower/internal/workload"
+)
+
+// driftOpts keeps the drift experiment fast: 48 modules puts the default
+// ladder's drifters on modules 6, 18, 30, 42.
+func driftOpts() Options {
+	return Options{HA8KModules: 48, Workers: 2}
+}
+
+func TestDriftFlagsExactlyInjected(t *testing.T) {
+	r, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Flagged, r.Injected) {
+		t.Fatalf("flagged %v, injected %v", r.Flagged, r.Injected)
+	}
+	if r.ConservationErr > 1e-9 {
+		t.Fatalf("energy conservation error %v > 1e-9", r.ConservationErr)
+	}
+	if r.AlphaAfter == r.AlphaBefore {
+		t.Fatalf("refresh did not change the solved α (%v)", r.AlphaBefore)
+	}
+	if r.Refresh == nil || len(r.Refresh.Modules) != len(r.Injected) {
+		t.Fatalf("refresh report %+v, want %d modules", r.Refresh, len(r.Injected))
+	}
+}
+
+// TestDriftChaosPlan drives the detector with the committed chaos plan: amid
+// sensor spikes, dropped polls, module deaths and a slow node, the single
+// cap-drift event (module 33) must be the only module flagged — the noise
+// sources are excluded as untrusted, not misclassified as drift.
+func TestDriftChaosPlan(t *testing.T) {
+	f, err := os.Open("../../testdata/chaos-plan.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := faults.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Drift(Options{HA8KModules: 64, Workers: 2, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Flagged, []int{33}) {
+		t.Fatalf("flagged %v, want exactly [33]", r.Flagged)
+	}
+	if r.ConservationErr > 1e-9 {
+		t.Fatalf("energy conservation error %v > 1e-9", r.ConservationErr)
+	}
+}
+
+// TestDriftCleanRunFlagsNothing runs the same jobs on a fault-free cluster
+// and requires zero false positives: every module's residual is model-exact
+// 1.0 and the detector stays quiet. (Drift itself installs a ladder by
+// default, so the clean path is exercised at the collector level.)
+func TestDriftCleanRunFlagsNothing(t *testing.T) {
+	sys, err := cluster.New(cluster.HA8K(), 48, 0x5c15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := sys.AllocateFirst(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.NewFrameworkWorkers(sys, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := attrib.New(attrib.Config{})
+	fw.Attrib = col
+	fw.Tenant, fw.JobID = "astro", "mhd-nightly"
+	cs := FleetCmAvg * units.Watts(48)
+	for i := 0; i < 3; i++ {
+		if _, err := fw.Run(workload.MHD(), ids, cs, core.VaPc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := col.Snapshot()
+	if len(rep.Flagged) != 0 {
+		t.Fatalf("fault-free run flagged %v, want none", rep.Flagged)
+	}
+	for _, m := range rep.Modules {
+		if d := m.Residual - 1; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("module %d residual %v on a healthy cluster, want 1.0", m.Module, m.Residual)
+		}
+	}
+}
+
+// TestDriftDeterministicAcrossWorkers requires the whole loop's result —
+// flags, residuals, energies, refreshed scales, exports — to be identical at
+// every fan-out width.
+func TestDriftDeterministicAcrossWorkers(t *testing.T) {
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var base *DriftResult
+	var baseCSV bytes.Buffer
+	for _, w := range widths {
+		o := driftOpts()
+		o.Workers = w
+		r, err := Drift(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var csv bytes.Buffer
+		if err := r.Report.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, baseCSV = r, csv
+			continue
+		}
+		if !reflect.DeepEqual(r, base) {
+			t.Fatalf("workers=%d result differs from workers=%d", w, widths[0])
+		}
+		if !bytes.Equal(csv.Bytes(), baseCSV.Bytes()) {
+			t.Fatalf("workers=%d attribution CSV differs from workers=%d", w, widths[0])
+		}
+	}
+}
+
+func TestRenderDrift(t *testing.T) {
+	r, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderDrift(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Detector flagged", "Per-job energy accounting", "mhd-nightly", "Flagged modules"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("rendered drift output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

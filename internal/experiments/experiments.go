@@ -22,6 +22,7 @@ package experiments
 import (
 	"context"
 
+	"varpower/internal/attrib"
 	"varpower/internal/cluster"
 	"varpower/internal/faults"
 	"varpower/internal/flight"
@@ -77,6 +78,12 @@ type Options struct {
 	// resilience experiment additionally sweeps generated fault levels when
 	// no plan is given.
 	Faults *faults.Plan
+
+	// Attrib, when non-nil, is the continuous power-attribution collector
+	// the drift experiment streams its runs into (the -attrib flag's path
+	// into the experiments); nil lets the experiment build its own. Like
+	// Recorder, attribution is write-only for every rendered artifact.
+	Attrib *attrib.Collector
 }
 
 // progressCtx returns a context carrying this Options' progress callback

@@ -284,26 +284,36 @@ func Outliers(xs []float64, k float64) []int {
 	if k <= 0 {
 		k = MADThreshold
 	}
-	med := median(append([]float64(nil), xs...))
+	med, scale := RobustStats(xs)
+	var out []int
+	for i, x := range xs {
+		if math.Abs(x-med) > k*scale {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RobustStats returns the median and the MAD-based spread scale of xs — the
+// exact statistics Outliers thresholds against, exported so other scorers
+// (the drift detector in internal/attrib) report deviations in the same
+// MAD-multiple units the quarantine machinery flags on. The scale is floored
+// at a small relative epsilon of the median (absolute 1e-12 when the median
+// is zero) so identical values never self-flag.
+func RobustStats(xs []float64) (med, scale float64) {
+	med = median(append([]float64(nil), xs...))
 	devs := make([]float64, len(xs))
 	for i, x := range xs {
 		devs[i] = math.Abs(x - med)
 	}
-	mad := median(append([]float64(nil), devs...))
-	scale := mad
+	scale = median(devs)
 	if floor := 1e-6 * math.Abs(med); scale < floor {
 		scale = floor
 	}
 	if scale == 0 {
 		scale = 1e-12
 	}
-	var out []int
-	for i, d := range devs {
-		if d > k*scale {
-			out = append(out, i)
-		}
-	}
-	return out
+	return med, scale
 }
 
 // median sorts xs in place and returns its median.

@@ -150,6 +150,10 @@ const (
 	// EventReSolve: the budget solver redistributed this module's allocation
 	// after a failure (Value = the module's new cap in watts, 0 if dead).
 	EventReSolve
+	// EventDriftFlag: the attribution collector's drift detector flagged the
+	// module — its observed power departed from the PVT-predicted model
+	// (Value = the windowed observed/predicted power residual, ≈1 healthy).
+	EventDriftFlag
 )
 
 // String returns the stable export name of the event kind.
@@ -169,6 +173,8 @@ func (k EventKind) String() string {
 		return "module-death"
 	case EventReSolve:
 		return "re-solve"
+	case EventDriftFlag:
+		return "drift-flag"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

@@ -78,6 +78,21 @@ func Attach(spec Spec, seed uint64, id int) *Sensor {
 // Spec returns the sensor's back-end characteristics.
 func (s *Sensor) Spec() Spec { return s.spec }
 
+// SampleCount returns how many interval-spaced samples cover a steady
+// duration (at least one): the sampling semantics shared by the sensor
+// front-ends here and the attribution collector's per-run residual stream
+// (internal/attrib), so "sampling at hz" means the same thing in both.
+func SampleCount(duration, interval units.Seconds) int {
+	if duration <= 0 || interval <= 0 {
+		return 1
+	}
+	n := int(float64(duration) / float64(interval))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Trace samples a steady power level for the given duration and returns the
 // observed time series. The true signal is steady in our steady-state
 // simulation; the sensor sees it through noise and its calibration offset.
@@ -85,10 +100,7 @@ func (s *Sensor) Trace(truth units.Watts, duration units.Seconds) []Sample {
 	if duration <= 0 || s.spec.Interval <= 0 {
 		return nil
 	}
-	n := int(float64(duration) / float64(s.spec.Interval))
-	if n < 1 {
-		n = 1
-	}
+	n := SampleCount(duration, s.spec.Interval)
 	out := make([]Sample, 0, n)
 	for i := 0; i < n; i++ {
 		v := float64(truth) + s.offset + s.rng.Normal(0, s.spec.NoiseSigma)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"varpower/internal/attrib"
 	"varpower/internal/cluster"
 	"varpower/internal/faults"
 	"varpower/internal/flight"
@@ -120,6 +121,17 @@ type Config struct {
 	Recorder *flight.Recorder
 	// RecordLabel names the run's timeline segment (default "bench/mode").
 	RecordLabel string
+
+	// Attrib, when non-nil, streams the run into the continuous power
+	// attribution collector: per-module measured-vs-expected energy for the
+	// drift detector, and the job energy split for the tenant ledger. Like
+	// Recorder it is strictly write-only — the measured Result is
+	// byte-identical with and without it.
+	Attrib *attrib.Collector
+	// Tenant and JobID label the run in the collector's energy accounting
+	// (both default inside the collector: "default"/benchmark name).
+	Tenant string
+	JobID  string
 }
 
 // ExplicitNoise returns a pointer for Config.RunNoiseSigma (0 disables
@@ -281,6 +293,9 @@ func Run(sys *cluster.System, cfg Config) (Result, error) {
 	if rec != nil {
 		rec.finish(sys, cfg, prof, ops, res)
 		cfg.Recorder.Commit(rec.cap)
+	}
+	if cfg.Attrib != nil {
+		observeAttrib(sys, cfg, prof, ops, res, out)
 	}
 	return out, nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 
+	"varpower/internal/attrib"
+	"varpower/internal/core"
 	"varpower/internal/units"
 )
 
@@ -121,6 +123,36 @@ type JobStatus struct {
 	Request SolveRequest `json:"request"`
 	Result  *JobResult   `json:"result,omitempty"`
 	Error   string       `json:"error,omitempty"`
+}
+
+// AttribResponse is the body of GET /v1/attrib/{system}: the system's live
+// attribution + drift report and the PVT generation it was observed under.
+type AttribResponse struct {
+	System string `json:"system"`
+	// Generation counts PVT recalibrations (0 = install-time table).
+	Generation uint64         `json:"generation"`
+	Report     *attrib.Report `json:"report"`
+}
+
+// RecalibrateRequest is the body of POST /v1/recalibrate: an incremental
+// PVT refresh of one owned system. Modules lists which to re-measure; empty
+// selects the drift detector's currently flagged set (and the request fails
+// with 400 when that is empty too — a healthy system has nothing to splice).
+type RecalibrateRequest struct {
+	System  string `json:"system"`
+	Modules []int  `json:"modules,omitempty"`
+}
+
+// RecalibrateResponse is the body of a successful POST /v1/recalibrate.
+type RecalibrateResponse struct {
+	System string `json:"system"`
+	// Generation is the post-splice PVT generation; solve and PMT cache keys
+	// are generation-prefixed, so allocations computed against the previous
+	// table can no longer be served.
+	Generation uint64 `json:"generation"`
+	// Modules lists the refreshed module IDs in ascending order.
+	Modules []int               `json:"modules"`
+	Report  *core.RefreshReport `json:"report"`
 }
 
 // APIError is the structured error body every endpoint returns on failure:

@@ -164,6 +164,25 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 	}
 }
 
+// Attrib fetches a system's live attribution + drift report.
+func (c *Client) Attrib(ctx context.Context, system string) (*service.AttribResponse, error) {
+	var out service.AttribResponse
+	if _, err := c.do(ctx, http.MethodGet, "/v1/attrib/"+system, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Recalibrate triggers an incremental PVT refresh of a system's drifting
+// modules (the detector's flagged set when req.Modules is empty).
+func (c *Client) Recalibrate(ctx context.Context, req service.RecalibrateRequest) (*service.RecalibrateResponse, error) {
+	var out service.RecalibrateResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/recalibrate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics fetches /v1/metrics in the given format ("prom", "json" or "csv";
 // empty means the Prometheus text default).
 func (c *Client) Metrics(ctx context.Context, format string) (string, error) {

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"varpower/internal/service"
+	"varpower/internal/service/client"
+)
+
+// DriftOptions parameterises DriftCheck.
+type DriftOptions struct {
+	// BaseURL is the daemon under test — one serving a *drifting* cluster
+	// (service.Config.Faults with at least one cap-drift event), or the
+	// check fails at the "detector flagged nothing" step, which is the point.
+	BaseURL string
+	// System names the owned preset to exercise (default "HA8K").
+	System string
+	// Workload and Scheme shape the jobs and solves (defaults "MHD", "VaPc"
+	// — a capped scheme, so drifted enforcement is actually observable).
+	Workload string
+	Scheme   string
+	// BudgetPerModuleW scales the system budget (default 80 W/module, the
+	// fleet experiment's constrained operating point — caps bind, so a
+	// drifted module genuinely draws its drift factor over the allocation).
+	BudgetPerModuleW float64
+	// Jobs is how many runs feed the attribution collector (default 3).
+	Jobs int
+}
+
+// withDefaults fills zero fields.
+func (o DriftOptions) withDefaults() DriftOptions {
+	if o.System == "" {
+		o.System = "HA8K"
+	}
+	if o.Workload == "" {
+		o.Workload = "MHD"
+	}
+	if o.Scheme == "" {
+		o.Scheme = "VaPc"
+	}
+	if o.BudgetPerModuleW <= 0 {
+		o.BudgetPerModuleW = 80
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 3
+	}
+	return o
+}
+
+// DriftReport is a DriftCheck outcome: the observed drift state and the
+// before/after evidence that recalibration changed the served allocation
+// and invalidated the solve cache.
+type DriftReport struct {
+	System  string
+	Jobs    int
+	Flagged []int
+	// Residuals maps each flagged module to its windowed observed/predicted
+	// power ratio at detection time.
+	Residuals map[int]float64
+	// GenBefore/GenAfter are the PVT generations around the recalibration.
+	GenBefore, GenAfter uint64
+	// AlphaBefore/AlphaAfter are the solved α against the install-time and
+	// refreshed tables.
+	AlphaBefore, AlphaAfter float64
+	// DispRepeat is the second pre-recalibration solve's cache disposition
+	// (must be a hit); DispAfter the post-recalibration one (must be a miss).
+	DispRepeat, DispAfter string
+}
+
+// DriftCheck drives the continuous-observability loop end to end through
+// the public API, failing loudly at the first broken link:
+//
+//  1. run Jobs full jobs on the owned (drifting) system, feeding the
+//     attribution collector;
+//  2. solve the same budgeting question twice — the repeat must be a cache
+//     hit;
+//  3. GET /v1/attrib must flag at least one drifting module;
+//  4. POST /v1/recalibrate (detector's flagged set) must bump the PVT
+//     generation;
+//  5. the same solve again must be a cache miss (generation-keyed caches)
+//     with a different α — the refreshed table really changed the answer.
+func DriftCheck(ctx context.Context, opts DriftOptions) (*DriftReport, error) {
+	opts = opts.withDefaults()
+	c := client.New(opts.BaseURL)
+
+	// Scale the budget to the system's loaded size.
+	systems, err := c.Systems(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: list systems: %w", err)
+	}
+	loaded := 0
+	for _, row := range systems {
+		if name, _ := row["name"].(string); name == opts.System {
+			if n, ok := row["modules_loaded"].(float64); ok {
+				loaded = int(n)
+			}
+		}
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("driftcheck: system %q not loaded", opts.System)
+	}
+	req := service.SolveRequest{
+		System:      opts.System,
+		Workload:    opts.Workload,
+		Scheme:      opts.Scheme,
+		BudgetWatts: opts.BudgetPerModuleW * float64(loaded),
+	}
+	rep := &DriftReport{System: opts.System, Jobs: opts.Jobs}
+
+	// 1. Feed the collector with real runs on the owned cluster state.
+	for i := 0; i < opts.Jobs; i++ {
+		st, err := c.SubmitJob(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("driftcheck: submit job %d: %w", i, err)
+		}
+		if st, err = c.WaitJob(ctx, st.ID, 10*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("driftcheck: wait job %d: %w", i, err)
+		}
+		if st.State != service.JobDone {
+			return nil, fmt.Errorf("driftcheck: job %d ended %s: %s", i, st.State, st.Error)
+		}
+	}
+
+	// 2. Solve twice: the repeat proves the cache serves this key.
+	first, _, err := c.Solve(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: pre-recalibration solve: %w", err)
+	}
+	rep.AlphaBefore = first.Alpha
+	repeat, disp, err := c.Solve(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: repeat solve: %w", err)
+	}
+	rep.DispRepeat = disp
+	if service.Disposition(disp) != service.DispHit {
+		return nil, fmt.Errorf("driftcheck: repeat solve disposition %q, want %q", disp, service.DispHit)
+	}
+	if repeat.Alpha != first.Alpha {
+		return nil, fmt.Errorf("driftcheck: repeat solve α %v != first %v", repeat.Alpha, first.Alpha)
+	}
+
+	// 3. The detector must have flagged the drifters.
+	att, err := c.Attrib(ctx, opts.System)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: attrib: %w", err)
+	}
+	rep.GenBefore = att.Generation
+	rep.Flagged = att.Report.Flagged
+	if len(rep.Flagged) == 0 {
+		return nil, fmt.Errorf("driftcheck: drift detector flagged no modules after %d jobs (runs=%d samples=%d)",
+			opts.Jobs, att.Report.Runs, att.Report.Samples)
+	}
+	rep.Residuals = make(map[int]float64, len(rep.Flagged))
+	for _, m := range att.Report.Modules {
+		if m.Flagged {
+			rep.Residuals[m.Module] = m.Residual
+		}
+	}
+
+	// 4. Recalibrate the flagged set.
+	rec, err := c.Recalibrate(ctx, service.RecalibrateRequest{System: opts.System})
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: recalibrate: %w", err)
+	}
+	rep.GenAfter = rec.Generation
+	if rec.Generation <= att.Generation {
+		return nil, fmt.Errorf("driftcheck: recalibration left generation at %d (was %d)", rec.Generation, att.Generation)
+	}
+
+	// 5. The refreshed table must change the served answer, uncached.
+	after, disp, err := c.Solve(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck: post-recalibration solve: %w", err)
+	}
+	rep.DispAfter = disp
+	rep.AlphaAfter = after.Alpha
+	if service.Disposition(disp) == service.DispHit {
+		return nil, fmt.Errorf("driftcheck: post-recalibration solve was a cache hit — generation did not invalidate the solve cache")
+	}
+	if after.Alpha == first.Alpha {
+		return nil, fmt.Errorf("driftcheck: α unchanged at %v after recalibrating modules %v", after.Alpha, rep.Flagged)
+	}
+	return rep, nil
+}
+
+// WriteDriftReport renders the report for humans (the -selftest output).
+func WriteDriftReport(w io.Writer, r *DriftReport) {
+	fmt.Fprintf(w, "drift: %d jobs on %s → flagged %v", r.Jobs, r.System, r.Flagged)
+	for _, m := range r.Flagged {
+		fmt.Fprintf(w, " (module %d residual %.3f)", m, r.Residuals[m])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "drift: recalibrated gen %d → %d; α %.4f → %.4f (repeat=%s, post=%s)\n",
+		r.GenBefore, r.GenAfter, r.AlphaBefore, r.AlphaAfter, r.DispRepeat, r.DispAfter)
+}

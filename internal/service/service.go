@@ -13,7 +13,18 @@
 //	POST /v1/solve       budget solve → per-module allocations, α, time
 //	POST /v1/jobs        enqueue a full simulated run (bounded queue)
 //	GET  /v1/jobs/{id}   job status / result polling
+//	GET  /v1/attrib/{sys} live attribution + drift report for an owned system
+//	POST /v1/recalibrate incremental PVT refresh of drifting modules
 //	GET  /v1/metrics     the telemetry registry (Prometheus/JSON/CSV)
+//
+// The daemon also closes the continuous-observability loop: every job run on
+// an owned system streams into that system's attribution collector
+// (internal/attrib), whose drift detector flags modules departing from the
+// install-time PVT; POST /v1/recalibrate re-measures only the flagged
+// modules (core.RefreshPVT) and splices the result into the live table with
+// no restart and no full sweep. Each recalibration bumps the system's PVT
+// generation, which prefixes the solve and PMT cache keys — so stale cached
+// allocations are structurally unreachable the moment the table changes.
 //
 // The hot path gets production treatment: solve responses are cached as
 // rendered bytes under a content key (system, workload, budget, scheme,
@@ -33,8 +44,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"varpower/internal/attrib"
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/faults"
@@ -78,6 +91,12 @@ type Config struct {
 	// FaultHorizon is the virtual-seconds horizon for named fault levels
 	// (default 10, matching the resilience experiment).
 	FaultHorizon float64
+	// Faults, when non-nil, is a fault plan installed on every owned system
+	// at startup — the daemon then serves a degrading cluster (cap-drift,
+	// failing sensors) instead of a pristine one, which is what the
+	// drift-detection loop exists for. Install-time PVT calibration runs
+	// under the plan too, exactly as it would on real drifting hardware.
+	Faults *faults.Plan
 }
 
 // withDefaults fills zero fields.
@@ -114,10 +133,47 @@ func (c Config) withDefaults() Config {
 // each other's RAPL limits and pinned frequencies.
 type baseSystem struct {
 	spec cluster.Spec
+
+	// mu guards fw, pool and gen. Recalibration is the only writer: it swaps
+	// in a framework with the refreshed PVT, replaces the replica pool (old
+	// replicas carry the old table) and bumps the generation. Readers take
+	// snapshots through the accessors below and finish against a consistent
+	// (fw, pool) pair.
+	mu   sync.RWMutex
 	fw   *core.Framework
 	// pool recycles replicas of fw for the hot solve path (serving seed,
 	// healthy, loaded size); replicas return reset to fresh-clone state.
 	pool *core.ReplicaPool
+	// gen counts PVT generations (0 = install-time). It prefixes the solve
+	// and PMT cache keys, so a recalibration invalidates every cached answer
+	// derived from the previous table without touching the caches.
+	gen uint64
+
+	// recalMu serialises recalibrations (each is a real re-measurement).
+	recalMu sync.Mutex
+
+	// collector is the system's continuous attribution + drift-detection
+	// engine; every job run on the owned cluster state streams into it.
+	collector *attrib.Collector
+}
+
+// snapshot returns a consistent (framework, pool, generation) triple.
+func (b *baseSystem) snapshot() (*core.Framework, *core.ReplicaPool, uint64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.fw, b.pool, b.gen
+}
+
+// framework returns the current live framework.
+func (b *baseSystem) framework() *core.Framework {
+	fw, _, _ := b.snapshot()
+	return fw
+}
+
+// generation returns the current PVT generation.
+func (b *baseSystem) generation() uint64 {
+	_, _, gen := b.snapshot()
+	return gen
 }
 
 // calibration is a PMT-cache value: the calibrated table plus the PVT
@@ -176,11 +232,21 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Faults != nil {
+			inj, err := faults.NewInjector(cfg.Faults)
+			if err != nil {
+				return nil, fmt.Errorf("service: fault plan for %s: %w", spec.Name, err)
+			}
+			sys.InstallFaults(inj)
+		}
 		fw, err := core.NewFrameworkWorkers(sys, nil, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
 		}
-		s.base[key] = &baseSystem{spec: spec, fw: fw, pool: core.NewReplicaPool(fw)}
+		s.base[key] = &baseSystem{
+			spec: spec, fw: fw, pool: core.NewReplicaPool(fw),
+			collector: attrib.New(attrib.Config{}),
+		}
 		s.names = append(s.names, spec.Name)
 	}
 	s.queue.run = s.runJob
@@ -208,6 +274,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
 	mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmitJob))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/get", s.handleGetJob))
+	mux.Handle("GET /v1/attrib/{system}", s.instrument("/v1/attrib", s.handleAttrib))
+	mux.Handle("POST /v1/recalibrate", s.instrument("/v1/recalibrate", s.handleRecalibrate))
 	mux.Handle("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	mux.Handle("/debug/", telemetry.DebugMux(telemetry.Default(), telemetry.DefaultTracer()))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -271,6 +339,7 @@ type systemInfo struct {
 	ModulesTotal    int    `json:"modules_total"`
 	ModulesLoaded   int    `json:"modules_loaded"`
 	Quarantined     int    `json:"quarantined"`
+	PVTGeneration   uint64 `json:"pvt_generation"`
 }
 
 // handleSystems lists the loaded presets.
@@ -278,6 +347,7 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 	out := make([]systemInfo, 0, len(s.names))
 	for _, name := range s.names {
 		b := s.base[strings.ToLower(name)]
+		fw, _, gen := b.snapshot()
 		out = append(out, systemInfo{
 			Name:            b.spec.Name,
 			Site:            b.spec.Site,
@@ -285,8 +355,9 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 			Measurement:     string(b.spec.Measurement),
 			SupportsCapping: b.spec.Measurement.SupportsCapping(),
 			ModulesTotal:    b.spec.TotalModules(),
-			ModulesLoaded:   b.fw.Sys.NumModules(),
-			Quarantined:     len(b.fw.PVT.Quarantined),
+			ModulesLoaded:   fw.Sys.NumModules(),
+			Quarantined:     len(fw.PVT.Quarantined),
+			PVTGeneration:   gen,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"systems": out})
@@ -300,7 +371,7 @@ func (s *Server) handlePVT(w http.ResponseWriter, r *http.Request) {
 			"system %q not loaded (have %v)", r.PathValue("system"), s.names)
 		return
 	}
-	writeJSON(w, http.StatusOK, b.fw.PVT)
+	writeJSON(w, http.StatusOK, b.framework().PVT)
 }
 
 // handleMetrics re-exports the telemetry registry; ?format=json|csv|prom
@@ -354,7 +425,7 @@ func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *worklo
 	if req.Seed == 0 {
 		req.Seed = s.cfg.Seed
 	}
-	loaded := b.fw.Sys.NumModules()
+	loaded := b.framework().Sys.NumModules()
 	if req.Modules == 0 {
 		req.Modules = loaded
 	}
@@ -375,17 +446,20 @@ func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *worklo
 	return req, b, bench, scheme, budget, nil
 }
 
-// key renders the canonical request as the content cache key.
-func solveKey(req SolveRequest) string {
-	return fmt.Sprintf("%s|%s|%s|%.6f|%d|%d|%s",
-		req.System, req.Workload, req.Scheme, req.BudgetWatts, req.Modules, req.Seed, req.Faults)
+// solveKey renders the canonical request as the content cache key. The
+// system's PVT generation leads: a recalibration bumps it, so every answer
+// computed against the previous table becomes unreachable at once.
+func solveKey(gen uint64, req SolveRequest) string {
+	return fmt.Sprintf("g%d|%s|%s|%s|%.6f|%d|%d|%s",
+		gen, req.System, req.Workload, req.Scheme, req.BudgetWatts, req.Modules, req.Seed, req.Faults)
 }
 
 // pmtKey is the calibration cache key: everything but the budget, which the
-// PMT does not depend on — that is what makes budget sweeps cheap.
-func pmtKey(req SolveRequest) string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%s",
-		req.System, req.Workload, req.Scheme, req.Modules, req.Seed, req.Faults)
+// PMT does not depend on — that is what makes budget sweeps cheap. Like
+// solveKey it is generation-prefixed, since calibration divides by the PVT.
+func pmtKey(gen uint64, req SolveRequest) string {
+	return fmt.Sprintf("g%d|%s|%s|%s|%d|%d|%s",
+		gen, req.System, req.Workload, req.Scheme, req.Modules, req.Seed, req.Faults)
 }
 
 // frameworkFor materialises the system a canonical request solves against.
@@ -395,12 +469,13 @@ func pmtKey(req SolveRequest) string {
 // the genuinely cold path, whose release is a no-op. Callers must invoke
 // release exactly once, after their last use of the framework.
 func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (fw *core.Framework, release func(), err error) {
-	if req.Seed == s.cfg.Seed && req.Faults == "" && req.Modules <= b.fw.Sys.NumModules() {
-		fw := b.pool.Get()
-		return fw, func() { b.pool.Put(fw) }, nil
+	base, pool, _ := b.snapshot()
+	if req.Seed == s.cfg.Seed && req.Faults == "" && req.Modules <= base.Sys.NumModules() {
+		fw := pool.Get()
+		return fw, func() { pool.Put(fw) }, nil
 	}
 	n := req.Modules
-	if loaded := b.fw.Sys.NumModules(); n < loaded {
+	if loaded := base.Sys.NumModules(); n < loaded {
 		n = loaded
 	}
 	sys, err := cluster.New(b.spec, n, req.Seed)
@@ -425,9 +500,10 @@ func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (fw *core.Framewo
 	return fw, func() {}, nil
 }
 
-// calibrate builds (or fetches) the calibrated PMT for a canonical request.
-func (s *Server) calibrate(req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
-	cal, err, _ := s.pmts.Do(pmtKey(req), func() (calibration, error) {
+// calibrate builds (or fetches) the calibrated PMT for a canonical request,
+// keyed under the given PVT generation.
+func (s *Server) calibrate(gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
+	cal, err, _ := s.pmts.Do(pmtKey(gen, req), func() (calibration, error) {
 		fw, release, err := s.frameworkFor(req, b)
 		if err != nil {
 			return calibration{}, err
@@ -454,8 +530,8 @@ func (s *Server) calibrate(req SolveRequest, b *baseSystem, bench *workload.Benc
 
 // solveBody computes the rendered response for a canonical request — the
 // cache-miss path.
-func (s *Server) solveBody(req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
-	cal, err := s.calibrate(req, b, bench, scheme)
+func (s *Server) solveBody(gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
+	cal, err := s.calibrate(gen, req, b, bench, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -508,8 +584,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	body, err, disp := s.solves.Do(solveKey(req), func() ([]byte, error) {
-		return s.solveBody(req, b, bench, scheme, budget)
+	// The generation is read once, before the cache lookup: a recalibration
+	// racing this request either lands before (we serve the new table) or
+	// after (we serve a last coherent answer from the old one) — never a mix.
+	gen := b.generation()
+	body, err, disp := s.solves.Do(solveKey(gen, req), func() ([]byte, error) {
+		return s.solveBody(gen, req, b, bench, scheme, budget)
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "solve: %v", err)
@@ -566,6 +646,95 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// --- Attribution & recalibration --------------------------------------------
+
+// handleAttrib is GET /v1/attrib/{system}: a deterministic snapshot of the
+// system's attribution collector — the per-job energy ledger and the
+// per-module drift table, with the currently flagged modules.
+func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.base[strings.ToLower(strings.TrimSpace(r.PathValue("system")))]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"system %q not loaded (have %v)", r.PathValue("system"), s.names)
+		return
+	}
+	writeJSON(w, http.StatusOK, AttribResponse{
+		System:     b.spec.Name,
+		Generation: b.generation(),
+		Report:     b.collector.Snapshot(),
+	})
+}
+
+// handleRecalibrate is POST /v1/recalibrate: incremental PVT refresh. The
+// module list defaults to whatever the drift detector currently flags; an
+// explicit list lets an operator recalibrate on external evidence. Refusing
+// an empty refresh (400) keeps the endpoint honest — a healthy system has
+// nothing to splice.
+func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
+	var req RecalibrateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	b, ok := s.base[strings.ToLower(strings.TrimSpace(req.System))]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"system %q not loaded (have %v)", req.System, s.names)
+		return
+	}
+	modules := req.Modules
+	if len(modules) == 0 {
+		modules = b.collector.Snapshot().Flagged
+	}
+	if len(modules) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"nothing to recalibrate: no modules listed and the drift detector flags none")
+		return
+	}
+	rep, gen, err := s.recalibrate(b, modules)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "recalibrate: %v", err)
+		return
+	}
+	// The refreshed modules' drift windows restart empty: the detector
+	// re-judges the spliced entries on post-refresh evidence only.
+	b.collector.Reset(modules)
+	resp := RecalibrateResponse{
+		System:     b.spec.Name,
+		Generation: gen,
+		Report:     rep,
+	}
+	for _, m := range rep.Modules {
+		resp.Modules = append(resp.Modules, m.Module)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recalibrate re-measures the given modules against the live PVT and swaps
+// the refreshed table in. The probe runs on a pooled replica — it carries
+// the base system's fault injector, so the re-measurement observes the same
+// drifted hardware the jobs ran on — and the swap replaces the framework
+// and replica pool together under the write lock, bumping the generation.
+func (s *Server) recalibrate(b *baseSystem, modules []int) (*core.RefreshReport, uint64, error) {
+	b.recalMu.Lock()
+	defer b.recalMu.Unlock()
+	fw, pool, _ := b.snapshot()
+	probe := pool.Get()
+	newPVT, rep, err := core.RefreshPVT(probe.Sys, fw.PVT, modules, s.cfg.Workers)
+	pool.Put(probe)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := &core.Framework{Sys: fw.Sys, PVT: newPVT, Workers: fw.Workers}
+	b.mu.Lock()
+	b.fw = next
+	b.pool = core.NewReplicaPool(next)
+	b.gen++
+	gen := b.gen
+	b.mu.Unlock()
+	return rep, gen, nil
+}
+
 // runJob executes one dequeued job: materialise the system, run the full
 // pipeline (calibration, solve, enforced final run), record the measured
 // result. Requests were canonicalised at submission, so failures here are
@@ -590,6 +759,15 @@ func (s *Server) runJob(j *job) {
 			return nil, err
 		}
 		defer release()
+		if req.Seed == s.cfg.Seed && req.Faults == "" {
+			// A run on the owned cluster state streams into the system's
+			// attribution collector (ReplicaPool.Put detaches the hook).
+			// Foreign seeds and ad-hoc fault levels are transient replicas —
+			// attributing them would pollute the fleet's drift evidence.
+			fw.Attrib = b.collector
+			fw.Tenant = "jobs"
+			fw.JobID = req.Workload
+		}
 		ids, err := fw.Sys.AllocateFirst(req.Modules)
 		if err != nil {
 			return nil, err
