@@ -9,6 +9,7 @@
 //	varpowerd [-addr HOST:PORT] [-addr-file FILE] [-systems a,b,...]
 //	          [-modules N] [-seed S] [-workers W] [-queue N]
 //	          [-job-workers N] [-cache N] [-selftest]
+//	          [-trace on|off] [-trace-ring N] [-log-level LVL]
 //	          [-metrics FILE] [-telemetry] [-quiet] [-v]
 //
 // Endpoints (see internal/service):
@@ -21,8 +22,18 @@
 //	GET  /v1/jobs/{id}   job status / result
 //	GET  /v1/attrib/{sys} live attribution + drift report
 //	POST /v1/recalibrate incremental PVT refresh of drifting modules
-//	GET  /v1/metrics     telemetry registry (?format=prom|json|csv)
+//	GET  /v1/traces      retained request traces (tail-sampled ring)
+//	GET  /v1/traces/{id} one trace (?format=perfetto for the Chrome viewer)
+//	GET  /v1/slo         per-route SLO burn-rate report
+//	GET  /v1/metrics     telemetry registry (?format=prom|json|csv|openmetrics)
 //	/debug/...           pprof and expvar
+//
+// Every response carries a W3C traceparent and an X-Request-ID header (the
+// incoming values are adopted when present), so a resource manager's own
+// trace continues through the daemon; -log-level enables structured JSON
+// request logs on stderr carrying the same trace_id. -trace=off disables the
+// whole request-observability layer — response bodies are byte-identical
+// either way, the trace context travels only in headers and side endpoints.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: the listener stops
 // accepting and in-flight responses finish, queued and running jobs run to
@@ -33,12 +44,18 @@
 // it (cold unique-seed solves, then a repeated-key hammer from N
 // goroutines), prints both phases' throughput and the cache speedup, and
 // exits nonzero if the speedup is below 5× — the serving layer's acceptance
-// gate. It then boots a second in-process instance over a *drifting*
-// cluster (one module's cap enforcement holding 1.2× the programmed limit)
-// and drives the continuous-observability loop through the public API
-// (loadgen.DriftCheck): jobs feed the attribution collector, GET /v1/attrib
-// must flag the drifter, POST /v1/recalibrate must splice a refreshed PVT,
-// and the next /v1/solve must be an uncached answer with a different α.
+// gate. With tracing on it also gates on observability: the hot phase must
+// have left a cache-hit span in the trace ring and the solve route's
+// availability burn must be zero. It then boots a second in-process instance
+// over a *drifting* cluster (one module's cap enforcement holding 1.2× the
+// programmed limit) and drives the continuous-observability loop through the
+// public API (loadgen.DriftCheck): jobs feed the attribution collector, GET
+// /v1/attrib must flag the drifter, POST /v1/recalibrate must splice a
+// refreshed PVT, and the next /v1/solve must be an uncached answer with a
+// different α. The drifting instance runs under a deliberately impossible
+// latency objective, so its /v1/slo must report *nonzero* burn — proving the
+// burn-rate math fires under a fault ladder, not just stays quiet when
+// healthy.
 package main
 
 import (
@@ -53,7 +70,9 @@ import (
 
 	"varpower/internal/cliutil"
 	"varpower/internal/faults"
+	reqobs "varpower/internal/obs"
 	"varpower/internal/service"
+	"varpower/internal/service/client"
 	"varpower/internal/service/loadgen"
 	"varpower/internal/telemetry"
 )
@@ -73,6 +92,8 @@ func main() {
 		selftest     = flag.Bool("selftest", false, "start an in-process instance, run the load generator against it, and exit (nonzero unless cache speedup >= 5x)")
 		selfN        = flag.Int("selftest-requests", 2000, "hot-phase request count for -selftest")
 		selfC        = flag.Int("selftest-clients", 8, "client goroutines for -selftest")
+		traceMode    = flag.String("trace", "on", "request tracing + SLO monitoring: on or off (off removes all per-request overhead; response bodies are identical either way)")
+		traceRing    = flag.Int("trace-ring", 0, "retained request-trace ring capacity, half reserved for slow/error traces (0 = 256)")
 		obs          = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -82,6 +103,20 @@ func main() {
 	}
 	if err := obs.Start("varpowerd"); err != nil {
 		fail(err)
+	}
+
+	var observer *reqobs.Observer
+	switch *traceMode {
+	case "on", "":
+		observer = reqobs.New(reqobs.Config{
+			RingSize: *traceRing,
+			Logger:   obs.Logger(),
+		})
+	case "off":
+		// nil Observer: the service's instrumentation collapses to the
+		// pre-observability path (no spans, no ring, no SLO accounting).
+	default:
+		fail(fmt.Errorf("-trace must be on or off, got %q", *traceMode))
 	}
 
 	cfg := service.Config{
@@ -95,6 +130,7 @@ func main() {
 		// drifting cluster can be served and repaired through /v1/attrib +
 		// /v1/recalibrate without the -selftest harness.
 		Faults: obs.FaultPlan(),
+		Obs:    observer,
 	}
 	if *systems != "" {
 		for _, s := range strings.Split(*systems, ",") {
@@ -128,7 +164,7 @@ func main() {
 
 	var runErr error
 	if *selftest {
-		runErr = runSelftest(hs.Addr(), *selfN, *selfC)
+		runErr = runSelftest(hs.Addr(), *selfN, *selfC, observer.Enabled())
 		shutdown(hs, srv, *drainTimeout, obs)
 	} else {
 		sig := make(chan os.Signal, 1)
@@ -164,9 +200,11 @@ func shutdown(hs *telemetry.Server, srv *service.Server, timeout time.Duration, 
 }
 
 // runSelftest hammers the live instance through the public client and
-// enforces the >= 5x cache-speedup acceptance gate, then runs the
-// drift-loop gate against a dedicated drifting instance.
-func runSelftest(addr string, hotRequests, clients int) error {
+// enforces the >= 5x cache-speedup acceptance gate plus (when tracing is on)
+// the observability gate — a retained hot-solve trace with a cache-hit span
+// and zero availability burn — then runs the drift-loop gate against a
+// dedicated drifting instance.
+func runSelftest(addr string, hotRequests, clients int, traced bool) error {
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
 		BaseURL:     "http://" + addr,
 		Concurrency: clients,
@@ -179,7 +217,12 @@ func runSelftest(addr string, hotRequests, clients int) error {
 	if s := rep.Speedup(); s < 5 {
 		return fmt.Errorf("selftest: cache speedup %.1fx below the 5x gate", s)
 	}
-	if err := runDriftSelftest(); err != nil {
+	if traced {
+		if err := rep.VerifyObs(); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+	}
+	if err := runDriftSelftest(traced); err != nil {
 		return err
 	}
 	fmt.Println("selftest: PASS")
@@ -189,16 +232,31 @@ func runSelftest(addr string, hotRequests, clients int) error {
 // runDriftSelftest boots an in-process daemon whose owned HA8K has a
 // drifting cap (module 5 enforcing 1.2× the programmed limit) and drives
 // the attribution → drift-flag → recalibration → corrected-solve loop
-// through the public API.
-func runDriftSelftest() error {
+// through the public API. When traced, the instance runs under an impossible
+// 1 ns solve-latency objective, so after the fault-ladder traffic its
+// /v1/slo must show nonzero burn — the negative half of the SLO gate (the
+// healthy instance's burn was already gated to zero by VerifyObs).
+func runDriftSelftest(traced bool) error {
 	plan := &faults.Plan{
 		Name:   "selftest-drift",
 		Events: []faults.Event{{Module: 5, Kind: faults.KindCapDrift, Magnitude: 1.2}},
+	}
+	var observer *reqobs.Observer
+	if traced {
+		observer = reqobs.New(reqobs.Config{
+			Objectives: []reqobs.Objective{{
+				Route:        "/v1/solve",
+				LatencyBound: time.Nanosecond,
+				LatencyGoal:  0.99,
+				Availability: 0.999,
+			}},
+		})
 	}
 	srv, err := service.New(service.Config{
 		Systems: []string{"HA8K"},
 		Modules: 48,
 		Faults:  plan,
+		Obs:     observer,
 	})
 	if err != nil {
 		return fmt.Errorf("selftest: drifting instance: %w", err)
@@ -220,6 +278,34 @@ func runDriftSelftest() error {
 		return err
 	}
 	loadgen.WriteDriftReport(os.Stdout, rep)
+	if traced {
+		if err := verifyBurn("http://" + hs.Addr()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBurn asserts the drifting instance's /v1/slo reports nonzero latency
+// burn under its impossible objective — if this stays zero the burn-rate
+// pipeline is broken, not the traffic healthy.
+func verifyBurn(baseURL string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	slo, err := client.New(baseURL).SLO(ctx)
+	if err != nil {
+		return fmt.Errorf("selftest: fetch drifting /v1/slo: %w", err)
+	}
+	solve := slo.Route("/v1/solve")
+	if solve == nil {
+		return fmt.Errorf("selftest: drifting /v1/slo has no /v1/solve objective")
+	}
+	if burn := solve.MaxBurn(); burn <= 0 {
+		return fmt.Errorf("selftest: drifting instance burn %.3f under a 1ns latency objective, want > 0 (%d slow of %d)",
+			burn, solve.Slow, solve.Total)
+	}
+	fmt.Printf("slo:   drifting instance burn fires as expected (max burn %.1f, %d slow of %d)\n",
+		solve.MaxBurn(), solve.Slow, solve.Total)
 	return nil
 }
 

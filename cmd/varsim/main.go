@@ -7,6 +7,7 @@
 //	       [-modules N] [-seed S] [-workers W] [-faults FILE]
 //	       [-record FILE] [-record-hz HZ] [-attrib FILE] [-attrib-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//	       [-log-level LVL]
 //
 // -modules scales the HA8K experiments (default 1920, the paper's size);
 // feasibility boundaries are per-module and therefore scale-invariant.
@@ -19,7 +20,8 @@
 // -telemetry prints the phase-span timing summary, -http serves /metrics
 // and /debug/pprof for the duration of a long sweep, -v streams live
 // completed/total progress for grid and Table-4 cells, -quiet silences
-// informational stderr output.
+// informational stderr output, and -log-level switches stderr to
+// structured JSON logs (log/slog) at the given level.
 //
 // -record attaches the flight recorder to the serially executed runs (the
 // Figure 2/3 sweeps and vt-timeline) and writes the captured timeline at

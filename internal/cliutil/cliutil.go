@@ -11,6 +11,9 @@
 //	-quiet          suppress progress and informational stderr output
 //	-v              verbose: live completed/total progress lines and the
 //	                full span tree with -telemetry
+//	-log-level LVL  emit structured JSON logs (log/slog) on stderr at LVL
+//	                (debug, info, warn, error); off by default so the
+//	                -quiet contract (empty stderr) holds
 //
 // All of it is presentation-layer only: none of these flags can change a
 // rendered artifact or a simulated result.
@@ -31,6 +34,7 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,6 +44,7 @@ import (
 	"varpower/internal/attrib"
 	"varpower/internal/faults"
 	"varpower/internal/flight"
+	"varpower/internal/obs"
 	"varpower/internal/telemetry"
 )
 
@@ -55,8 +60,10 @@ type Obs struct {
 	faultsPath  string
 	attribPath  string
 	attribHz    float64
+	logLevel    string
 
 	cmd       string
+	logger    *slog.Logger
 	recorder  *flight.Recorder
 	collector *attrib.Collector
 	faultPlan *faults.Plan
@@ -81,6 +88,7 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 	fs.StringVar(&o.faultsPath, "faults", "", "load a deterministic fault-injection plan (JSON, see internal/faults) and install it on the command's systems")
 	fs.StringVar(&o.attribPath, "attrib", "", "run the continuous power-attribution collector over the command's measured runs and write its report to this file at exit (.json = indented JSON, anything else = CSV)")
 	fs.Float64Var(&o.attribHz, "attrib-hz", 0, "attribution collector sampling rate in samples per simulated second (0 = the collector default, 10)")
+	fs.StringVar(&o.logLevel, "log-level", "", "emit structured JSON logs on stderr at this level (debug, info, warn, error; default off so -quiet runs stay silent)")
 	return o
 }
 
@@ -89,6 +97,15 @@ func AddFlags(fs *flag.FlagSet) *Obs {
 // started when -http was given.
 func (o *Obs) Start(cmd string) error {
 	o.cmd = cmd
+	if o.logLevel != "" {
+		lvl, enabled, err := obs.ParseLevel(o.logLevel)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cmd, err)
+		}
+		if enabled {
+			o.logger = obs.NewLogger(os.Stderr, lvl).With("cmd", cmd)
+		}
+	}
 	if o.faultsPath != "" {
 		f, err := os.Open(o.faultsPath)
 		if err != nil {
@@ -256,6 +273,13 @@ func (o *Obs) writeRecord() error {
 	o.Infof("wrote flight record to %s (+ %s.report.txt)", o.recordPath, o.recordPath)
 	return nil
 }
+
+// Logger returns the -log-level structured JSON logger, or nil when
+// structured logging is off (the default — plain Infof lines remain the
+// human-facing channel, and -quiet runs keep their empty stderr). varpowerd
+// hands this to the request-observability layer so per-request log lines
+// carry the same handler and level the command's own logs use.
+func (o *Obs) Logger() *slog.Logger { return o.logger }
 
 // Quiet reports whether -quiet is in force.
 func (o *Obs) Quiet() bool { return o.quiet }

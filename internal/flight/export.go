@@ -26,9 +26,11 @@ const (
 	tracePidModules = 2
 )
 
-// traceEvent is one Chrome trace-event object. Field order is fixed by the
-// struct, so serialization is deterministic.
-type traceEvent struct {
+// ChromeEvent is one Chrome trace-event object. Field order is fixed by the
+// struct, so serialization is deterministic. It is exported so other
+// subsystems (the service's request-trace endpoint) can emit traces that
+// open in the same viewer as a simulation timeline.
+type ChromeEvent struct {
 	Name string `json:"name"`
 	Ph   string `json:"ph"`
 	Pid  int    `json:"pid"`
@@ -49,9 +51,24 @@ func (v f6) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%.3f", float64(v))), nil
 }
 
-func usp(t units.Seconds) *f6 {
-	v := f6(float64(t) * 1e6)
+// US wraps a microsecond value for a ChromeEvent's Ts or Dur field.
+func US(us float64) *f6 {
+	v := f6(us)
 	return &v
+}
+
+func usp(t units.Seconds) *f6 {
+	return US(float64(t) * 1e6)
+}
+
+// WriteChromeTrace wraps a prepared event list in the Chrome trace-event
+// JSON envelope. WriteTrace builds its events from a Timeline; callers with
+// other span sources build []ChromeEvent directly.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents     []ChromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
 // WriteTrace emits the timeline as Chrome trace-event JSON: rank phase
@@ -61,7 +78,7 @@ func usp(t units.Seconds) *f6 {
 // instant markers on the straggler's rank thread. Times are microseconds
 // of simulated time.
 func WriteTrace(w io.Writer, tl Timeline) error {
-	events := []traceEvent{
+	events := []ChromeEvent{
 		{Name: "process_name", Ph: "M", Pid: tracePidRanks, Args: map[string]string{"name": "ranks"}},
 		{Name: "process_name", Ph: "M", Pid: tracePidModules, Args: map[string]string{"name": "modules"}},
 	}
@@ -88,7 +105,7 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 	}
 	sort.Ints(ranks)
 	for _, r := range ranks {
-		events = append(events, traceEvent{
+		events = append(events, ChromeEvent{
 			Name: "thread_name", Ph: "M", Pid: tracePidRanks, Tid: r + 1,
 			Args: map[string]string{"name": fmt.Sprintf("rank %d (module %d)", r, rankMod[r])},
 		})
@@ -99,7 +116,7 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 	}
 	sort.Ints(mods)
 	for _, m := range mods {
-		events = append(events, traceEvent{
+		events = append(events, ChromeEvent{
 			Name: "thread_name", Ph: "M", Pid: tracePidModules, Tid: m + 1,
 			Args: map[string]string{"name": fmt.Sprintf("module %d", m)},
 		})
@@ -108,12 +125,12 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 	for _, run := range tl.Runs {
 		// Run extent as a slice on a dedicated "timeline" thread (tid 0 is
 		// reserved by some viewers, so runs ride on the highest rank + 1).
-		events = append(events, traceEvent{
+		events = append(events, ChromeEvent{
 			Name: run.Label, Ph: "X", Pid: tracePidRanks, Tid: len(ranks) + 1,
 			Ts: usp(run.Start), Dur: usp(run.Elapsed()), Cat: "run",
 		})
 		for _, iv := range run.Intervals {
-			ev := traceEvent{
+			ev := ChromeEvent{
 				Name: iv.Phase.String(), Ph: "X",
 				Pid: tracePidRanks, Tid: iv.Rank + 1,
 				Ts: usp(iv.Start), Dur: usp(iv.End - iv.Start),
@@ -127,7 +144,7 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 			events = append(events, ev)
 		}
 		for _, rd := range run.Rounds {
-			events = append(events, traceEvent{
+			events = append(events, ChromeEvent{
 				Name: "straggler:" + rd.Kind, Ph: "i",
 				Pid: tracePidRanks, Tid: rd.Rank + 1,
 				Ts: usp(rd.Latest), S: "p", Cat: "round",
@@ -135,19 +152,19 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 			})
 		}
 		for _, s := range run.Samples {
-			events = append(events, traceEvent{
+			events = append(events, ChromeEvent{
 				Name: fmt.Sprintf("m%d power (W)", s.Module), Ph: "C",
 				Pid: tracePidModules, Tid: s.Module + 1, Ts: usp(s.T),
 				Args: map[string]f6{"cpu": f6(s.CPUPower), "dram": f6(s.DramPower), "cap": f6(s.Cap)},
 			})
-			events = append(events, traceEvent{
+			events = append(events, ChromeEvent{
 				Name: fmt.Sprintf("m%d freq (GHz)", s.Module), Ph: "C",
 				Pid: tracePidModules, Tid: s.Module + 1, Ts: usp(s.T),
 				Args: map[string]f6{"ghz": f6(s.Freq.GHz())},
 			})
 		}
 		for _, e := range run.Events {
-			events = append(events, traceEvent{
+			events = append(events, ChromeEvent{
 				Name: e.Kind.String(), Ph: "i",
 				Pid: tracePidModules, Tid: e.Module + 1, Ts: usp(e.T),
 				S: "t", Cat: "control",
@@ -156,11 +173,7 @@ func WriteTrace(w io.Writer, tl Timeline) error {
 		}
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(struct {
-		TraceEvents     []traceEvent `json:"traceEvents"`
-		DisplayTimeUnit string       `json:"displayTimeUnit"`
-	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return WriteChromeTrace(w, events)
 }
 
 // WriteCSV emits the timeline's sample stream in long form:

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level. "off" (and "")
+// disable structured logging entirely — the daemon stays byte-silent on
+// stderr, which the -quiet contract depends on.
+func ParseLevel(s string) (slog.Level, bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none":
+		return 0, false, nil
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn", "warning":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	}
+	return 0, false, fmt.Errorf("obs: unknown log level %q (want off|debug|info|warn|error)", s)
+}
+
+// NewLogger builds the JSON structured logger the daemon and obs layer
+// share: one object per line, lowercase keys, RFC3339 timestamps (slog's
+// default), level-filtered at source.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}

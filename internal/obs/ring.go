@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// ring retains finished request traces with tail-based bias: half the
+// capacity is reserved for "important" entries (errors, shed load, slow
+// requests) and half for everything else, each side a circular overwrite
+// buffer. The split is what makes retention useful under load — a flood of
+// sub-millisecond cache hits can never evict the one slow solve an operator
+// is hunting — and deterministic: which entries survive depends only on the
+// arrival order and classification of the traffic, never on timing races.
+type ring struct {
+	mu   sync.Mutex
+	norm []*RequestTrace
+	ni   int
+	imp  []*RequestTrace
+	ii   int
+}
+
+// newRing builds a ring with the given total capacity (min 2: one slot per
+// class).
+func newRing(capacity int) *ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	impCap := capacity / 2
+	return &ring{
+		norm: make([]*RequestTrace, 0, capacity-impCap),
+		imp:  make([]*RequestTrace, 0, impCap),
+	}
+}
+
+// add retains one sealed entry, overwriting the oldest of its class when
+// that class's side is full.
+func (r *ring) add(rt *RequestTrace, important bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if important {
+		if len(r.imp) < cap(r.imp) {
+			r.imp = append(r.imp, rt)
+			return
+		}
+		r.imp[r.ii] = rt
+		r.ii = (r.ii + 1) % cap(r.imp)
+		return
+	}
+	if len(r.norm) < cap(r.norm) {
+		r.norm = append(r.norm, rt)
+		return
+	}
+	r.norm[r.ni] = rt
+	r.ni = (r.ni + 1) % cap(r.norm)
+}
+
+// snapshot returns every retained entry in arrival order.
+func (r *ring) snapshot() []*RequestTrace {
+	r.mu.Lock()
+	out := make([]*RequestTrace, 0, len(r.norm)+len(r.imp))
+	out = append(out, r.norm...)
+	out = append(out, r.imp...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// lookup returns the retained entries of one trace in arrival order.
+func (r *ring) lookup(id TraceID) []*RequestTrace {
+	var out []*RequestTrace
+	for _, rt := range r.snapshot() {
+		if rt.trace == id {
+			out = append(out, rt)
+		}
+	}
+	return out
+}

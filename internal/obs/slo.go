@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"varpower/internal/telemetry"
+)
+
+// Objective is one route's declarative service-level objective: a latency
+// bound a goal-fraction of requests must beat, and an availability target.
+// "Bad" for availability is a server-side failure (5xx) or shed load (429)
+// — client errors (other 4xx) spend no budget, since the server did its job.
+type Objective struct {
+	// Route is the fixed route pattern the objective watches.
+	Route string `json:"route"`
+	// LatencyBound is the per-request latency a "good" request beats.
+	LatencyBound time.Duration `json:"latency_bound_ns"`
+	// LatencyGoal is the fraction of requests required under LatencyBound
+	// (e.g. 0.99: a p99 objective at the bound).
+	LatencyGoal float64 `json:"latency_goal"`
+	// Availability is the fraction of requests required not-bad
+	// (e.g. 0.999).
+	Availability float64 `json:"availability"`
+}
+
+// DefaultObjectives is varpowerd's out-of-the-box SLO set: the solve path
+// (the latency-critical hot path a resource manager blocks on) gets a p99
+// latency objective plus availability; the job queue gets availability only
+// — queued runs are asynchronous, so their latency budget is the queue's
+// concern, but shed load (429) still spends error budget.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Route: "/v1/solve", LatencyBound: 250 * time.Millisecond, LatencyGoal: 0.99, Availability: 0.999},
+		{Route: "/v1/jobs", Availability: 0.999},
+	}
+}
+
+// sloWindows are the burn-rate windows: the fast window catches an active
+// incident, the slow window catches a smoulder. (The classic multi-window
+// alert pairs them: page when both burn.)
+var sloWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// bucketSeconds is the SLO clock granularity: outcomes are folded into
+// 5-second buckets, so a 1-hour window is 720 buckets — cheap to sum on
+// every scrape, fine-grained enough that a 5-minute window loses at most
+// one bucket of edge error.
+const bucketSeconds = 5
+
+// sloBucket is one clock-granule of outcomes for one route.
+type sloBucket struct {
+	epoch int64 // unix seconds / bucketSeconds; stale buckets are reused
+	total uint64
+	bad   uint64 // availability violations (5xx, 429)
+	slow  uint64 // latency violations (dur >= LatencyBound)
+}
+
+// routeSLO is one objective plus its windows and lifetime counters.
+type routeSLO struct {
+	obj     Objective
+	buckets []sloBucket // ring over the largest window
+
+	total, bad, slow uint64 // lifetime
+
+	// Telemetry handles, resolved once.
+	mTotal, mBad, mSlow *telemetry.Counter
+}
+
+// SLO monitors a set of objectives. All methods are safe for concurrent
+// use; the clock is injectable so tests (and simulated-time harnesses) can
+// drive the windows synthetically.
+type SLO struct {
+	now func() time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeSLO
+	order  []string
+}
+
+// newSLO builds a monitor for the given objectives.
+func newSLO(objectives []Objective, now func() time.Time) *SLO {
+	s := &SLO{now: now, routes: make(map[string]*routeSLO)}
+	n := int(sloWindows[len(sloWindows)-1]/time.Second) / bucketSeconds
+	reg := telemetry.Default()
+	for _, obj := range objectives {
+		if _, dup := s.routes[obj.Route]; dup || obj.Route == "" {
+			continue
+		}
+		l := telemetry.Labels{"route": obj.Route}
+		s.routes[obj.Route] = &routeSLO{
+			obj:     obj,
+			buckets: make([]sloBucket, n),
+			mTotal: reg.Counter("varpower_slo_requests_total",
+				"Requests observed by the SLO monitor, by route.", l),
+			mBad: reg.Counter("varpower_slo_bad_total",
+				"Requests that spent availability error budget (5xx or shed load), by route.", l),
+			mSlow: reg.Counter("varpower_slo_slow_total",
+				"Requests that exceeded the route's latency bound, by route.", l),
+		}
+		s.order = append(s.order, obj.Route)
+	}
+	return s
+}
+
+// Record folds one request outcome into the route's windows. Routes without
+// an objective are ignored.
+func (s *SLO) Record(route string, dur time.Duration, status int) {
+	s.mu.Lock()
+	r, ok := s.routes[route]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	epoch := s.now().Unix() / bucketSeconds
+	b := &r.buckets[int(epoch%int64(len(r.buckets)))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	bad := status >= 500 || status == 429
+	slow := r.obj.LatencyBound > 0 && dur >= r.obj.LatencyBound
+	b.total++
+	r.total++
+	if bad {
+		b.bad++
+		r.bad++
+	}
+	if slow {
+		b.slow++
+		r.slow++
+	}
+	s.mu.Unlock()
+
+	r.mTotal.Inc()
+	if bad {
+		r.mBad.Inc()
+	}
+	if slow {
+		r.mSlow.Inc()
+	}
+}
+
+// WindowBurn is one route's outcome over one burn window.
+type WindowBurn struct {
+	// Window is the burn window ("5m", "1h").
+	Window string `json:"window"`
+	Total  uint64 `json:"total"`
+	Bad    uint64 `json:"bad"`
+	Slow   uint64 `json:"slow"`
+	// AvailabilityBurn is (bad fraction) / (availability error budget):
+	// 1.0 spends budget exactly as fast as it accrues; 0 when no objective.
+	AvailabilityBurn float64 `json:"availability_burn"`
+	// LatencyBurn is (slow fraction) / (latency error budget).
+	LatencyBurn float64 `json:"latency_burn"`
+}
+
+// RouteReport is one objective's full SLO state.
+type RouteReport struct {
+	Objective Objective    `json:"objective"`
+	Total     uint64       `json:"total"`
+	Bad       uint64       `json:"bad"`
+	Slow      uint64       `json:"slow"`
+	Windows   []WindowBurn `json:"windows"`
+}
+
+// SLOReport is the body of GET /v1/slo.
+type SLOReport struct {
+	Routes []RouteReport `json:"routes"`
+}
+
+// Route returns the report for one route (nil when not monitored).
+func (r *SLOReport) Route(route string) *RouteReport {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Routes {
+		if r.Routes[i].Objective.Route == route {
+			return &r.Routes[i]
+		}
+	}
+	return nil
+}
+
+// MaxBurn returns the largest burn rate across one route's windows and both
+// objectives — the "is this route healthy" scalar the gates assert on.
+func (rr *RouteReport) MaxBurn() float64 {
+	if rr == nil {
+		return 0
+	}
+	var max float64
+	for _, w := range rr.Windows {
+		if w.AvailabilityBurn > max {
+			max = w.AvailabilityBurn
+		}
+		if w.LatencyBurn > max {
+			max = w.LatencyBurn
+		}
+	}
+	return max
+}
+
+// windowBurn sums the live buckets of one window.
+func (r *routeSLO) windowBurn(nowEpoch int64, window time.Duration) WindowBurn {
+	w := WindowBurn{Window: windowName(window)}
+	span := int64(window/time.Second) / bucketSeconds
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.epoch == 0 || b.epoch <= nowEpoch-span || b.epoch > nowEpoch {
+			continue
+		}
+		w.Total += b.total
+		w.Bad += b.bad
+		w.Slow += b.slow
+	}
+	if w.Total == 0 {
+		return w
+	}
+	if budget := 1 - r.obj.Availability; budget > 0 && r.obj.Availability > 0 {
+		w.AvailabilityBurn = (float64(w.Bad) / float64(w.Total)) / budget
+	}
+	if budget := 1 - r.obj.LatencyGoal; budget > 0 && r.obj.LatencyGoal > 0 {
+		w.LatencyBurn = (float64(w.Slow) / float64(w.Total)) / budget
+	}
+	return w
+}
+
+// windowName renders a window duration compactly ("5m", "1h").
+func windowName(d time.Duration) string {
+	if d >= time.Hour && d%time.Hour == 0 {
+		return time.Duration(d / time.Hour).String()[:1] + "h"
+	}
+	return d.String()
+}
+
+// Report snapshots every objective's windows.
+func (s *SLO) Report() *SLOReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nowEpoch := s.now().Unix() / bucketSeconds
+	rep := &SLOReport{}
+	for _, route := range s.order {
+		r := s.routes[route]
+		rr := RouteReport{Objective: r.obj, Total: r.total, Bad: r.bad, Slow: r.slow}
+		for _, w := range sloWindows {
+			rr.Windows = append(rr.Windows, r.windowBurn(nowEpoch, w))
+		}
+		rep.Routes = append(rep.Routes, rr)
+	}
+	return rep
+}
+
+// Publish refreshes the varpower_slo_burn_rate and varpower_slo_objective
+// gauges from the current report — the pull-model hook metric scrapes call,
+// so burn rates on /v1/metrics are as fresh as the scrape.
+func (s *SLO) Publish() {
+	reg := telemetry.Default()
+	for _, rr := range s.Report().Routes {
+		route := rr.Objective.Route
+		if rr.Objective.Availability > 0 {
+			reg.Gauge("varpower_slo_objective",
+				"Declared SLO targets, by route and objective kind.",
+				telemetry.Labels{"route": route, "slo": "availability"}).Set(rr.Objective.Availability)
+		}
+		if rr.Objective.LatencyGoal > 0 {
+			reg.Gauge("varpower_slo_objective",
+				"Declared SLO targets, by route and objective kind.",
+				telemetry.Labels{"route": route, "slo": "latency"}).Set(rr.Objective.LatencyGoal)
+		}
+		for _, w := range rr.Windows {
+			if rr.Objective.Availability > 0 {
+				reg.Gauge("varpower_slo_burn_rate",
+					"SLO error-budget burn rate, by route, objective kind and window (1.0 = spending exactly the budget).",
+					telemetry.Labels{"route": route, "slo": "availability", "window": w.Window}).Set(w.AvailabilityBurn)
+			}
+			if rr.Objective.LatencyGoal > 0 {
+				reg.Gauge("varpower_slo_burn_rate",
+					"SLO error-budget burn rate, by route, objective kind and window (1.0 = spending exactly the budget).",
+					telemetry.Labels{"route": route, "slo": "latency", "window": w.Window}).Set(w.LatencyBurn)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceID is a W3C trace-context trace identifier: 128 bits, rendered as 32
+// lowercase hex digits. The zero value is invalid per the spec.
+type TraceID [16]byte
+
+// SpanID is a W3C trace-context span identifier: 64 bits, 16 hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zeros value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zeros value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("obs: trace id %q: all-zero ids are invalid", s)
+	}
+	return t, nil
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex flags>") into its trace ID, parent span ID
+// and sampled flag. Only version 00 is accepted; malformed or all-zero IDs
+// are errors, so a caller can fall back to starting a fresh trace.
+func ParseTraceparent(h string) (TraceID, SpanID, bool, error) {
+	var (
+		t TraceID
+		s SpanID
+	)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false, fmt.Errorf("obs: traceparent %q: want 00-<trace>-<span>-<flags>", h)
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return t, s, false, fmt.Errorf("obs: traceparent %q: unsupported version %q", h, h[:2])
+	}
+	tid, err := ParseTraceID(h[3:35])
+	if err != nil {
+		return t, s, false, err
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, false, fmt.Errorf("obs: traceparent %q: span id: %w", h, err)
+	}
+	if s.IsZero() {
+		return t, s, false, fmt.Errorf("obs: traceparent %q: all-zero span id", h)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return t, s, false, fmt.Errorf("obs: traceparent %q: flags: %w", h, err)
+	}
+	return tid, s, flags[0]&1 == 1, nil
+}
+
+// Traceparent renders the W3C traceparent header for (trace, span). The
+// sampled flag is always set — a trace this process emits is by definition
+// one it recorded.
+func Traceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
+
+// idSource deterministically derives trace/span/request IDs from a seed:
+// a splitmix64 stream indexed by an atomic counter, so concurrent ID draws
+// never collide and a fixed seed yields a reproducible ID sequence (the
+// property the tail-sampling and export tests pin).
+type idSource struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// splitmix64 is the finalizer from Vigna's splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next64 draws the next 64-bit value from the stream.
+func (g *idSource) next64() uint64 {
+	n := g.ctr.Add(1)
+	v := splitmix64(g.seed ^ splitmix64(n))
+	if v == 0 {
+		v = 1 // all-zero IDs are invalid in trace context
+	}
+	return v
+}
+
+// traceID draws a fresh 128-bit trace ID.
+func (g *idSource) traceID() TraceID {
+	var t TraceID
+	hi, lo := g.next64(), g.next64()
+	for i := 0; i < 8; i++ {
+		t[i] = byte(hi >> (56 - 8*i))
+		t[8+i] = byte(lo >> (56 - 8*i))
+	}
+	return t
+}
+
+// spanID draws a fresh 64-bit span ID.
+func (g *idSource) spanID() SpanID {
+	var s SpanID
+	v := g.next64()
+	for i := 0; i < 8; i++ {
+		s[i] = byte(v >> (56 - 8*i))
+	}
+	return s
+}

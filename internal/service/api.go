@@ -34,6 +34,11 @@ type SolveRequest struct {
 	// "medium", "high"): the solve then runs against hardware failing at
 	// those rates, installed via cluster.InstallFaults. Empty means healthy.
 	Faults string `json:"faults,omitempty"`
+	// Tenant labels the request for observability — trace attributes, log
+	// lines and job attribution. It never affects the solve itself: it is
+	// excluded from the cache keys and absent from SolveResponse, so two
+	// tenants asking the same question share one byte-identical answer.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // budget resolves the two budget fields into watts.

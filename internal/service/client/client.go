@@ -8,12 +8,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"varpower/internal/obs"
 	"varpower/internal/service"
 )
 
@@ -23,6 +26,23 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a dedicated client with a 30 s timeout.
 	HTTPClient *http.Client
+	// Retries is how many times a failed request is re-issued (network
+	// errors, 429 shed load, 503 draining). Every attempt of one logical
+	// request carries the same X-Request-ID, so the daemon's logs and traces
+	// correlate the retries. 0 (the default) disables retrying — and skips
+	// the correlation header entirely, so the serving hot path stays free of
+	// its allocation cost.
+	Retries int
+	// RetryBackoff is the base delay between attempts (default 100ms,
+	// scaled linearly by attempt number, capped by any Retry-After hint
+	// being larger).
+	RetryBackoff time.Duration
+	// Header, when non-nil, is merged into every request — the hook for a
+	// fixed traceparent (so a caller's trace continues into the daemon) or
+	// tenant-identifying headers.
+	Header http.Header
+
+	reqSeq atomic.Uint64
 }
 
 // New builds a client for the daemon at baseURL. The transport keeps enough
@@ -38,24 +58,93 @@ func New(baseURL string) *Client {
 	}
 }
 
-// do issues one request and decodes the response into out (unless nil).
-// Non-2xx responses decode the structured error body into a *service.APIError.
-// The response's X-Varpower-Cache header (empty when absent) is returned so
-// callers can observe cache dispositions.
+// requestIDHeader is the correlation header in Go's canonical MIME form —
+// using the canonical spelling keeps Header.Get/Set from allocating a
+// canonicalized copy of the key on the serving hot path.
+const requestIDHeader = "X-Request-Id"
+
+// newRequestID mints a client-side request correlation ID ("c-" + seq).
+// Sequential, not random: a load generator's IDs then read in issue order in
+// the daemon's logs.
+func (c *Client) newRequestID() string {
+	return fmt.Sprintf("c-%d", c.reqSeq.Add(1))
+}
+
+// retryable reports whether one attempt's outcome warrants another: network
+// errors, shed load (429) and draining (503) are transient by contract;
+// everything else is the answer.
+func retryable(status int, err error) bool {
+	if err != nil {
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) {
+			return apiErr.Err.Status == http.StatusTooManyRequests ||
+				apiErr.Err.Status == http.StatusServiceUnavailable
+		}
+		return true // transport-level failure
+	}
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// do issues one logical request — up to 1+Retries attempts — and decodes
+// the response into out (unless nil). When retrying is enabled, every
+// attempt carries the same X-Request-ID so the daemon's logs and traces can
+// correlate them; a non-retrying client skips the header (the daemon mints
+// its own) and keeps the hot path allocation-free. Non-2xx responses decode
+// the structured error body into a *service.APIError. The response's
+// X-Varpower-Cache header (empty when absent) is returned so callers can
+// observe cache dispositions.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) (string, error) {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return "", fmt.Errorf("client: marshal request: %w", err)
 		}
-		body = bytes.NewReader(buf)
+		payload = buf
+	}
+	var reqID string
+	if c.Retries > 0 {
+		reqID = c.newRequestID()
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var disp string
+	var err error
+	for attempt := 0; ; attempt++ {
+		var status int
+		disp, status, err = c.attempt(ctx, method, path, reqID, payload, out)
+		if err == nil || attempt >= c.Retries || !retryable(status, err) {
+			return disp, err
+		}
+		select {
+		case <-ctx.Done():
+			return disp, ctx.Err()
+		case <-time.After(backoff * time.Duration(attempt+1)):
+		}
+	}
+}
+
+// attempt issues one HTTP attempt of a logical request.
+func (c *Client) attempt(ctx context.Context, method, path, reqID string, payload []byte, out any) (string, int, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return "", fmt.Errorf("client: build request: %w", err)
+		return "", 0, fmt.Errorf("client: build request: %w", err)
 	}
-	if in != nil {
+	for k, vs := range c.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if reqID != "" {
+		req.Header.Set(requestIDHeader, reqID)
+	}
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -64,13 +153,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (stri
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	disp := resp.Header.Get("X-Varpower-Cache")
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return disp, fmt.Errorf("client: read response: %w", err)
+		return disp, resp.StatusCode, fmt.Errorf("client: read response: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
 		var apiErr service.APIError
@@ -79,16 +168,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (stri
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				apiErr.Err.Message += " (Retry-After: " + ra + "s)"
 			}
-			return disp, &apiErr
+			return disp, resp.StatusCode, &apiErr
 		}
-		return disp, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(raw))
+		return disp, resp.StatusCode, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
-			return disp, fmt.Errorf("client: decode response: %w", err)
+			return disp, resp.StatusCode, fmt.Errorf("client: decode response: %w", err)
 		}
 	}
-	return disp, nil
+	return disp, resp.StatusCode, nil
 }
 
 // Healthz fetches /healthz.
@@ -183,8 +272,40 @@ func (c *Client) Recalibrate(ctx context.Context, req service.RecalibrateRequest
 	return &out, nil
 }
 
-// Metrics fetches /v1/metrics in the given format ("prom", "json" or "csv";
-// empty means the Prometheus text default).
+// Traces fetches every retained request trace.
+func (c *Client) Traces(ctx context.Context) ([]obs.TraceView, error) {
+	var out struct {
+		Traces []obs.TraceView `json:"traces"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Trace fetches every retained entry of one trace (a queued job's admission
+// and execution entries merge here).
+func (c *Client) Trace(ctx context.Context, id string) ([]obs.TraceView, error) {
+	var out struct {
+		Entries []obs.TraceView `json:"entries"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, "/v1/traces/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Entries, nil
+}
+
+// SLO fetches the per-route burn-rate report.
+func (c *Client) SLO(ctx context.Context) (*obs.SLOReport, error) {
+	var out obs.SLOReport
+	if _, err := c.do(ctx, http.MethodGet, "/v1/slo", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches /v1/metrics in the given format ("prom", "json", "csv" or
+// "openmetrics"; empty means the Prometheus text default).
 func (c *Client) Metrics(ctx context.Context, format string) (string, error) {
 	path := "/v1/metrics"
 	if format != "" {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"varpower/internal/obs"
 	"varpower/internal/service"
 	"varpower/internal/service/client"
 )
@@ -97,6 +98,14 @@ func (p PhaseReport) HitRate() float64 {
 type Report struct {
 	Cold PhaseReport
 	Hot  PhaseReport
+
+	// SLO is the daemon's burn-rate report fetched after the phases (nil
+	// when the daemon runs with tracing disabled).
+	SLO *obs.SLOReport
+	// HotTraceHit reports whether a retained /v1/solve trace shows a
+	// cache-hit span — the end-to-end proof that the hot phase was actually
+	// served from cache and that tracing recorded it.
+	HotTraceHit bool
 }
 
 // Speedup is hot RPS over cold RPS — the cache's measured throughput win.
@@ -132,7 +141,65 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("loadgen: hot phase: %w", err)
 	}
-	return Report{Cold: cold, Hot: hot}, nil
+	rep := Report{Cold: cold, Hot: hot}
+	rep.observe(ctx, c)
+	return rep, nil
+}
+
+// observe fetches the daemon's observability side channels after the load:
+// the SLO burn report and, from the trace ring, whether a hot solve recorded
+// a cache-hit span. Both are best-effort — a daemon with tracing disabled
+// serves 404 here, and the report's fields stay zero.
+func (r *Report) observe(ctx context.Context, c *client.Client) {
+	if slo, err := c.SLO(ctx); err == nil {
+		r.SLO = slo
+	}
+	traces, err := c.Traces(ctx)
+	if err != nil {
+		return
+	}
+	for _, tv := range traces {
+		if tv.Route != "/v1/solve" {
+			continue
+		}
+		for _, sp := range tv.Spans {
+			if sp.Name != "cache" {
+				continue
+			}
+			for _, a := range sp.Attrs {
+				if a.Key == "cache" && a.Val == string(service.DispHit) {
+					r.HotTraceHit = true
+					return
+				}
+			}
+		}
+	}
+}
+
+// VerifyObs is the selftest's trace+SLO gate: the hot phase must have left a
+// cache-hit span in the trace ring, and the solve route's availability burn
+// must be zero — a healthy in-process load has no business spending error
+// budget. (Latency burn is deliberately not gated here: the cold phase's
+// fresh-replica calibrations can legitimately cross the latency bound on a
+// loaded CI machine, and that is the objective working, not a test failure.)
+func (r Report) VerifyObs() error {
+	if r.SLO == nil {
+		return fmt.Errorf("loadgen: no SLO report (is the daemon running with tracing disabled?)")
+	}
+	solve := r.SLO.Route("/v1/solve")
+	if solve == nil {
+		return fmt.Errorf("loadgen: SLO report has no /v1/solve objective")
+	}
+	for _, w := range solve.Windows {
+		if w.AvailabilityBurn > 0 {
+			return fmt.Errorf("loadgen: /v1/solve availability burn %.3f in %s window after healthy load, want 0 (%d bad of %d)",
+				w.AvailabilityBurn, w.Window, w.Bad, w.Total)
+		}
+	}
+	if !r.HotTraceHit {
+		return fmt.Errorf("loadgen: no retained /v1/solve trace with a cache-hit span")
+	}
+	return nil
 }
 
 // phase issues n requests across `workers` goroutines, counting dispositions.
@@ -204,4 +271,10 @@ func WriteReport(w io.Writer, r Report) {
 		r.Hot.Requests, r.Hot.Elapsed.Round(time.Millisecond), r.Hot.RPS,
 		r.Hot.Misses, r.Hot.Coalesced, r.Hot.Hits, 100*r.Hot.HitRate())
 	fmt.Fprintf(w, "cache speedup: %.1f× (hot RPS / cold RPS)\n", r.Speedup())
+	if r.SLO != nil {
+		if solve := r.SLO.Route("/v1/solve"); solve != nil {
+			fmt.Fprintf(w, "slo:   /v1/solve max burn %.3f (%d bad, %d slow of %d); hot cache-hit trace: %v\n",
+				solve.MaxBurn(), solve.Bad, solve.Slow, solve.Total, r.HotTraceHit)
+		}
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"varpower/internal/obs"
 	"varpower/internal/parallel"
 	"varpower/internal/telemetry"
 )
@@ -29,12 +30,22 @@ var (
 		telemetry.Labels{"state": "failed"})
 	mJobSeconds = telemetry.Default().Histogram("varpower_job_seconds",
 		"Wall-clock execution time of varpowerd jobs.", nil, nil)
+	// mQueueRejectedWait records the Retry-After estimate handed to each
+	// rejected (429) submission. Accepted jobs never wait in-handler — the
+	// queue is take-a-slot-or-shed — so this histogram is the only latency
+	// signal shed load produces, and what lets SLO burn see it.
+	mQueueRejectedWait = telemetry.Default().Histogram("varpower_queue_rejected_wait_seconds",
+		"Retry-After estimate (seconds) returned with rejected job submissions.",
+		telemetry.ExpBuckets(1, 2, 10), nil)
 )
 
 // job is one queued run and its mutable status.
 type job struct {
 	id  string
 	req SolveRequest
+	// ref carries the admission request's trace context across the async
+	// boundary, so the executor's spans land in the same trace.
+	ref obs.Ref
 
 	mu     sync.Mutex
 	state  JobState
@@ -178,14 +189,14 @@ func (q *jobQueue) retryAfter() int {
 
 // submit enqueues a run, returning its job handle, ErrDraining during
 // shutdown, or ErrQueueFull with the Retry-After hint.
-func (q *jobQueue) submit(req SolveRequest) (*job, error) {
+func (q *jobQueue) submit(req SolveRequest, ref obs.Ref) (*job, error) {
 	q.mu.Lock()
 	if q.draining {
 		q.mu.Unlock()
 		return nil, ErrDraining
 	}
 	q.seq++
-	j := &job{id: fmt.Sprintf("j-%d", q.seq), req: req, state: JobQueued}
+	j := &job{id: fmt.Sprintf("j-%d", q.seq), req: req, ref: ref, state: JobQueued}
 	// Reserve the slot while holding the lock so draining and enqueueing
 	// cannot interleave around the channel close.
 	select {
@@ -195,7 +206,9 @@ func (q *jobQueue) submit(req SolveRequest) (*job, error) {
 		q.seq-- // rejected submissions do not consume an id
 		q.mu.Unlock()
 		mQueueRejected.Inc()
-		return nil, ErrQueueFull{RetryAfter: q.retryAfter()}
+		ra := q.retryAfter()
+		mQueueRejectedWait.Observe(float64(ra))
+		return nil, ErrQueueFull{RetryAfter: ra}
 	}
 	q.mu.Unlock()
 	mQueueDepth.Set(float64(len(q.ch)))

@@ -15,7 +15,10 @@
 //	GET  /v1/jobs/{id}   job status / result polling
 //	GET  /v1/attrib/{sys} live attribution + drift report for an owned system
 //	POST /v1/recalibrate incremental PVT refresh of drifting modules
-//	GET  /v1/metrics     the telemetry registry (Prometheus/JSON/CSV)
+//	GET  /v1/metrics     the telemetry registry (Prometheus/JSON/CSV/OpenMetrics)
+//	GET  /v1/traces      retained request traces (internal/obs ring)
+//	GET  /v1/traces/{id} one trace, JSON or ?format=perfetto (Chrome viewer)
+//	GET  /v1/slo         per-route SLO burn-rate report
 //
 // The daemon also closes the continuous-observability loop: every job run on
 // an owned system streams into that system's attribution collector
@@ -36,6 +39,15 @@
 // everything the determinism contract requires still holds — a solve's body
 // depends only on its request, never on worker counts, cache state, or
 // arrival order.
+//
+// Request observability rides on internal/obs: when Config.Obs is set, every
+// request gets a W3C trace context (adopted from an incoming traceparent or
+// freshly minted) whose spans — queue admission, cache lookup, calibration,
+// solve, measured run — are retained in a tail-biased ring and served back
+// through /v1/traces, while per-route SLO burn rates accumulate behind
+// /v1/slo. A nil Config.Obs disables all of it at zero per-request cost, and
+// in either mode solve bodies are byte-identical: trace context travels only
+// in headers and side endpoints, never in a response body.
 package service
 
 import (
@@ -51,6 +63,7 @@ import (
 	"varpower/internal/cluster"
 	"varpower/internal/core"
 	"varpower/internal/faults"
+	"varpower/internal/obs"
 	"varpower/internal/telemetry"
 	"varpower/internal/units"
 	"varpower/internal/workload"
@@ -97,6 +110,9 @@ type Config struct {
 	// drift-detection loop exists for. Install-time PVT calibration runs
 	// under the plan too, exactly as it would on real drifting hardware.
 	Faults *faults.Plan
+	// Obs enables request-scoped tracing, structured request logging and SLO
+	// monitoring (nil disables all three at zero per-request cost).
+	Obs *obs.Observer
 }
 
 // withDefaults fills zero fields.
@@ -277,12 +293,24 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("GET /v1/attrib/{system}", s.instrument("/v1/attrib", s.handleAttrib))
 	mux.Handle("POST /v1/recalibrate", s.instrument("/v1/recalibrate", s.handleRecalibrate))
 	mux.Handle("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	mux.Handle("GET /v1/traces/{id}", s.instrument("/v1/traces/get", s.handleTrace))
+	mux.Handle("GET /v1/slo", s.instrument("/v1/slo", s.handleSLO))
 	mux.Handle("/debug/", telemetry.DebugMux(telemetry.Default(), telemetry.DefaultTracer()))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no route for %s %s", r.Method, r.URL.Path)
 	})
 	return mux
 }
+
+// Observability header keys in Go's canonical MIME form — Header.Get/Set
+// with an already-canonical key never allocate, which keeps the disabled
+// middleware path at zero observability overhead. HTTP header names are
+// case-insensitive, so W3C's lowercase "traceparent" matches fine.
+const (
+	headerTraceparent = "Traceparent"
+	headerRequestID   = "X-Request-Id"
+)
 
 // statusRecorder captures the handler's status code for the request counter.
 type statusRecorder struct {
@@ -296,7 +324,15 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the varpower_http_* metrics for its route.
+// instrument wraps a handler with the varpower_http_* metrics for its route
+// and, when observability is enabled, the request-tracing middleware: the
+// trace context is adopted from the incoming traceparent (or freshly minted)
+// and handed to the handler through the request context, the response echoes
+// `traceparent` and `X-Request-ID` headers, the finished trace lands in the
+// retention ring, and the latency observation carries the trace ID as its
+// exemplar. With a nil observer the wrapper reduces to the bare metrics
+// path — no context values, no headers beyond an incoming X-Request-ID echo,
+// no extra allocations.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	hist := telemetry.Default().Histogram("varpower_http_request_seconds",
 		"HTTP request handling latency by route.", httpLatencyBuckets,
@@ -306,13 +342,35 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			"HTTP requests served, by route and status code.",
 			telemetry.Labels{"route": route, "code": fmt.Sprint(code)})
 	}
+	o := s.cfg.Obs
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mHTTPInflight.Add(1)
 		defer mHTTPInflight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var rt *obs.RequestTrace
+		if o.Enabled() {
+			ctx, t := o.StartRequest(r.Context(), obs.Request{
+				Method:      r.Method,
+				Route:       route,
+				Traceparent: r.Header.Get(headerTraceparent),
+				RequestID:   r.Header.Get(headerRequestID),
+			})
+			rt = t
+			w.Header().Set(headerTraceparent, rt.Traceparent())
+			w.Header().Set(headerRequestID, rt.RequestID())
+			r = r.WithContext(ctx)
+		} else if reqID := r.Header.Get(headerRequestID); reqID != "" {
+			w.Header().Set(headerRequestID, reqID)
+		}
 		start := time.Now()
 		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		if rt != nil {
+			hist.ObserveWithExemplar(secs, rt.TraceID().String())
+			o.EndRequest(rt, rec.code)
+		} else {
+			hist.Observe(secs)
+		}
 		counter(rec.code).Inc()
 	})
 }
@@ -375,7 +433,9 @@ func (s *Server) handlePVT(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics re-exports the telemetry registry; ?format=json|csv|prom
-// overrides the default Prometheus text exposition.
+// overrides the default Prometheus text exposition, and ?format=openmetrics
+// selects the OpenMetrics form with trace-ID exemplars on histogram buckets.
+// SLO burn-rate gauges are refreshed on every scrape (pull model).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	format := telemetry.FormatPrometheus
 	ct := "text/plain; version=0.0.4; charset=utf-8"
@@ -385,11 +445,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		format, ct = telemetry.FormatJSON, "application/json; charset=utf-8"
 	case "csv":
 		format, ct = telemetry.FormatCSV, "text/csv; charset=utf-8"
+	case "openmetrics", "om":
+		format, ct = telemetry.FormatOpenMetrics, "application/openmetrics-text; version=1.0.0; charset=utf-8"
 	default:
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
-			"unknown metrics format %q (want prom, json or csv)", r.URL.Query().Get("format"))
+			"unknown metrics format %q (want prom, json, csv or openmetrics)", r.URL.Query().Get("format"))
 		return
 	}
+	s.cfg.Obs.PublishSLO()
 	w.Header().Set("Content-Type", ct)
 	_ = telemetry.Write(w, telemetry.Default(), format)
 }
@@ -501,9 +564,12 @@ func (s *Server) frameworkFor(req SolveRequest, b *baseSystem) (fw *core.Framewo
 }
 
 // calibrate builds (or fetches) the calibrated PMT for a canonical request,
-// keyed under the given PVT generation.
-func (s *Server) calibrate(gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
-	cal, err, _ := s.pmts.Do(pmtKey(gen, req), func() (calibration, error) {
+// keyed under the given PVT generation. The calibration span carries the PMT
+// cache disposition; the measured sweep inside a miss gets its own span.
+func (s *Server) calibrate(ctx context.Context, gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme) (calibration, error) {
+	ctx, sp := obs.StartSpan(ctx, "calibrate")
+	defer sp.End()
+	cal, err, disp := s.pmts.Do(pmtKey(gen, req), func() (calibration, error) {
 		fw, release, err := s.frameworkFor(req, b)
 		if err != nil {
 			return calibration{}, err
@@ -513,7 +579,12 @@ func (s *Server) calibrate(gen uint64, req SolveRequest, b *baseSystem, bench *w
 		if err != nil {
 			return calibration{}, err
 		}
+		_, msp := obs.StartSpan(ctx, "measure")
+		msp.SetAttr("kind", "pmt_sweep")
+		msp.SetInt("modules", req.Modules)
 		pmt, err := fw.BuildPMT(bench, ids, scheme)
+		msp.Fail(err)
+		msp.End()
 		if err != nil {
 			return calibration{}, err
 		}
@@ -525,17 +596,23 @@ func (s *Server) calibrate(gen uint64, req SolveRequest, b *baseSystem, bench *w
 		}
 		return calibration{pmt: pmt, quarantined: quarantined}, nil
 	})
+	sp.SetAttr("cache", string(disp))
+	sp.Fail(err)
 	return cal, err
 }
 
 // solveBody computes the rendered response for a canonical request — the
 // cache-miss path.
-func (s *Server) solveBody(gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
-	cal, err := s.calibrate(gen, req, b, bench, scheme)
+func (s *Server) solveBody(ctx context.Context, gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
+	cal, err := s.calibrate(ctx, gen, req, b, bench, scheme)
 	if err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "solve")
+	sp.SetAttr("scheme", req.Scheme)
 	alloc, err := core.Solve(cal.pmt, b.spec.Arch, budget)
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -579,6 +656,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	ctx := r.Context()
+	obs.FromContext(ctx).SetTenant(req.Tenant)
 	req, b, bench, scheme, budget, err := s.canonical(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -588,9 +667,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// racing this request either lands before (we serve the new table) or
 	// after (we serve a last coherent answer from the old one) — never a mix.
 	gen := b.generation()
+	// Admission span: the solve path has no run queue, but recording depth
+	// at admission keeps solve traces comparable with job traces.
+	_, qsp := obs.StartSpan(ctx, "queue.admit")
+	qsp.SetInt("queue_depth", s.queue.depth())
+	qsp.End()
+	cctx, csp := obs.StartSpan(ctx, "cache")
+	csp.SetInt("generation", int(gen))
+	csp.SetAttr("scheme", req.Scheme)
 	body, err, disp := s.solves.Do(solveKey(gen, req), func() ([]byte, error) {
-		return s.solveBody(gen, req, b, bench, scheme, budget)
+		return s.solveBody(cctx, gen, req, b, bench, scheme, budget)
 	})
+	csp.SetAttr("cache", string(disp))
+	csp.Fail(err)
+	csp.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "solve: %v", err)
 		return
@@ -612,20 +702,29 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	rt := obs.FromContext(r.Context())
+	rt.SetTenant(req.Tenant)
 	req, _, _, _, _, err := s.canonical(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	j, err := s.queue.submit(req)
+	_, qsp := obs.StartSpan(r.Context(), "queue.admit")
+	qsp.SetInt("queue_depth", s.queue.depth())
+	j, err := s.queue.submit(req, rt.Ref())
+	qsp.Fail(err)
 	switch e := err.(type) {
 	case nil:
+		qsp.End()
 	case ErrQueueFull:
+		qsp.SetInt("retry_after_s", e.RetryAfter)
+		qsp.End()
 		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
 			"job queue full (%d queued), retry after %ds", s.queue.depth(), e.RetryAfter)
 		return
 	default:
+		qsp.End()
 		if err == ErrDraining {
 			writeError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
 			return
@@ -745,6 +844,11 @@ func (s *Server) runJob(j *job) {
 	}
 	req := j.req
 	b := s.base[strings.ToLower(req.System)]
+	// The executor continues the admission request's trace: its spans join
+	// the same trace ID, parented under the admission root, so a merged
+	// /v1/traces/{id} view reads as one tree across the async boundary.
+	ctx, jrt := s.cfg.Obs.Continue(context.Background(), j.ref, "job.run")
+	jrt.Root().SetAttr("job_id", j.id)
 	res, err := func() (*JobResult, error) {
 		bench, err := workload.ByName(req.Workload)
 		if err != nil {
@@ -766,16 +870,29 @@ func (s *Server) runJob(j *job) {
 			// attributing them would pollute the fleet's drift evidence.
 			fw.Attrib = b.collector
 			fw.Tenant = "jobs"
+			if req.Tenant != "" {
+				fw.Tenant = req.Tenant
+			}
 			fw.JobID = req.Workload
 		}
 		ids, err := fw.Sys.AllocateFirst(req.Modules)
 		if err != nil {
 			return nil, err
 		}
+		_, msp := obs.StartSpan(ctx, "measure")
+		msp.SetAttr("kind", "final_run")
+		msp.SetAttr("workload", req.Workload)
 		run, err := fw.Run(bench, ids, units.Watts(req.BudgetWatts), scheme)
+		msp.Fail(err)
 		if err != nil {
+			msp.End()
 			return nil, err
 		}
+		msp.SetAttr("elapsed_s", fmt.Sprintf("%.3f", float64(run.Result.Elapsed)))
+		if run.Result.Degraded() {
+			msp.SetAttr("degraded", "true")
+		}
+		msp.End()
 		out := &JobResult{
 			Alpha:     run.Alloc.Alpha,
 			FreqHz:    float64(run.Alloc.Freq),
@@ -789,6 +906,12 @@ func (s *Server) runJob(j *job) {
 		return out, nil
 	}()
 	j.finish(res, err)
+	status := http.StatusOK
+	if err != nil {
+		jrt.Root().Fail(err)
+		status = http.StatusInternalServerError
+	}
+	s.cfg.Obs.EndRequest(jrt, status)
 }
 
 // Drain gracefully shuts the serving state down: stop accepting jobs,

@@ -1,0 +1,120 @@
+// This file holds the request-trace and SLO endpoints: the serving side of
+// internal/obs. Traces are exported either as JSON span trees or, per trace,
+// as Chrome trace-event JSON through the same flight exporter that renders
+// simulation timelines — one viewer for both kinds of artifact.
+
+package service
+
+import (
+	"net/http"
+	"strings"
+
+	"varpower/internal/flight"
+	"varpower/internal/obs"
+)
+
+// handleTraces is GET /v1/traces: every retained trace entry, oldest first.
+// 404 when observability is disabled — the ring does not exist.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	o := s.cfg.Obs
+	if !o.Enabled() {
+		writeError(w, http.StatusNotFound, CodeNotFound, "request tracing is disabled (-trace=off)")
+		return
+	}
+	entries := o.Traces()
+	views := make([]obs.TraceView, 0, len(entries))
+	for _, rt := range entries {
+		views = append(views, rt.View())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views})
+}
+
+// handleTrace is GET /v1/traces/{id}: every retained entry of one trace —
+// a job's admission request and its execution continuation share an ID and
+// merge into one tree. ?format=perfetto renders Chrome trace-event JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	o := s.cfg.Obs
+	if !o.Enabled() {
+		writeError(w, http.StatusNotFound, CodeNotFound, "request tracing is disabled (-trace=off)")
+		return
+	}
+	id, err := obs.ParseTraceID(strings.TrimSpace(r.PathValue("id")))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	entries := o.Lookup(id)
+	if len(entries) == 0 {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"no retained trace %s (the ring keeps %s)", id, "recent and slow/error requests")
+		return
+	}
+	views := make([]obs.TraceView, 0, len(entries))
+	for _, rt := range entries {
+		views = append(views, rt.View())
+	}
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "", "json":
+		writeJSON(w, http.StatusOK, map[string]any{"trace_id": id.String(), "entries": views})
+	case "perfetto", "chrome":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace-`+id.String()+`.json"`)
+		_ = flight.WriteChromeTrace(w, chromeEvents(views))
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"unknown trace format %q (want json or perfetto)", r.URL.Query().Get("format"))
+	}
+}
+
+// chromeEvents converts merged trace views to Chrome trace events: one
+// process, one thread per entry (admission, continuation, …), each span a
+// complete ("X") slice at its offset from the trace's first entry. Span
+// attributes ride in args, so the viewer's selection panel shows cache
+// dispositions and queue depths.
+func chromeEvents(views []obs.TraceView) []flight.ChromeEvent {
+	const pid = 1
+	events := []flight.ChromeEvent{
+		{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]string{"name": "request"}},
+	}
+	if len(views) == 0 {
+		return events
+	}
+	t0 := views[0].Start
+	for i, v := range views {
+		tid := i + 1
+		events = append(events, flight.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]string{"name": v.Method + " " + v.Route},
+		})
+		base := v.Start.Sub(t0).Microseconds()
+		for _, sp := range v.Spans {
+			args := map[string]string{"span_id": sp.SpanID}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Val
+			}
+			if sp.Err != "" {
+				args["error"] = sp.Err
+			}
+			events = append(events, flight.ChromeEvent{
+				Name: sp.Name, Ph: "X", Pid: pid, Tid: tid,
+				Ts:  flight.US(float64(base + sp.StartUS)),
+				Dur: flight.US(float64(sp.DurUS)),
+				Cat: "span", Args: args,
+			})
+		}
+	}
+	return events
+}
+
+// handleSLO is GET /v1/slo: the per-route burn-rate report. The telemetry
+// gauges are refreshed as a side effect, so a scrape that follows sees the
+// same numbers.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	o := s.cfg.Obs
+	if !o.Enabled() {
+		writeError(w, http.StatusNotFound, CodeNotFound, "SLO monitoring is disabled (-trace=off)")
+		return
+	}
+	o.PublishSLO()
+	writeJSON(w, http.StatusOK, o.SLOReport())
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveWithExemplar(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1})
+	h.Observe(0.05) // no exemplar
+	s := h.Snapshot()
+	if s.Exemplars != nil {
+		t.Fatal("exemplars allocated without any exemplar observation")
+	}
+	h.ObserveWithExemplar(0.05, "aaaa")
+	h.ObserveWithExemplar(0.07, "bbbb") // same bucket: last wins
+	h.ObserveWithExemplar(0.5, "cccc")
+	h.ObserveWithExemplar(5, "dddd") // +Inf bucket
+	s = h.Snapshot()
+	if len(s.Exemplars) != len(s.Counts) {
+		t.Fatalf("exemplars len %d, want %d", len(s.Exemplars), len(s.Counts))
+	}
+	if s.Exemplars[0].TraceID != "bbbb" || s.Exemplars[0].Value != 0.07 {
+		t.Fatalf("bucket 0 exemplar %+v, want last-wins bbbb/0.07", s.Exemplars[0])
+	}
+	if s.Exemplars[1].TraceID != "cccc" || s.Exemplars[2].TraceID != "dddd" {
+		t.Fatalf("bucket exemplars %+v", s.Exemplars)
+	}
+	// Rejected observations must not pin an exemplar.
+	h.ObserveWithExemplar(-1, "eeee")
+	if got := h.Snapshot().Exemplars[0].TraceID; got != "bbbb" {
+		t.Fatalf("rejected observation overwrote exemplar: %s", got)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("varpower_http_request_duration_seconds", "Request latency.",
+		[]float64{0.1, 1}, Labels{"route": "/v1/solve"})
+	h.ObserveWithExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.Observe(0.5)
+	r.Counter("varpower_http_requests_total", "Requests.", Labels{"route": "/v1/solve"}).Inc()
+
+	var b strings.Builder
+	if err := Write(&b, r, FormatOpenMetrics); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `varpower_http_request_duration_seconds_bucket{le="0.1",route="/v1/solve"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05`
+	if !strings.Contains(out, want) {
+		t.Errorf("openmetrics output missing exemplar line %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `le="1",route="/v1/solve"} 2`+"\n") {
+		t.Errorf("cumulative bucket without exemplar malformed:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("openmetrics output must end with # EOF:\n%s", out)
+	}
+}

@@ -103,6 +103,49 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	return bw.Flush()
 }
 
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same sample lines as the Prometheus form, plus histogram bucket
+// exemplars (`# {trace_id="…"} value` after the bucket sample) and the
+// mandatory `# EOF` terminator. Exemplars are the point of this format —
+// they are how a p99 bucket on a dashboard links to a concrete request
+// trace — so it is the format /v1/metrics?format=openmetrics serves.
+func WriteOpenMetrics(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, fam.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Series {
+			switch fam.Type {
+			case TypeCounter, TypeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", fam.Name, promLabels(s.Labels, "", ""), formatFloat(s.Value))
+			case TypeHistogram:
+				h := s.Hist
+				var cum uint64
+				bucket := func(i int, le string) {
+					fmt.Fprintf(bw, "%s_bucket%s %d", fam.Name, promLabels(s.Labels, "le", le), cum)
+					if h.Exemplars != nil && h.Exemplars[i].TraceID != "" {
+						fmt.Fprintf(bw, ` # {trace_id="%s"} %s`,
+							escapeLabel(h.Exemplars[i].TraceID), formatFloat(h.Exemplars[i].Value))
+					}
+					bw.WriteByte('\n')
+				}
+				for i, bound := range h.Bounds {
+					cum += h.Counts[i]
+					bucket(i, formatFloat(bound))
+				}
+				cum += h.Counts[len(h.Bounds)]
+				bucket(len(h.Bounds), "+Inf")
+				fmt.Fprintf(bw, "%s_sum%s %s\n", fam.Name, promLabels(s.Labels, "", ""), formatFloat(h.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", fam.Name, promLabels(s.Labels, "", ""), h.Count)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
 // jsonSeries is the JSON form of one series.
 type jsonSeries struct {
 	Labels Labels             `json:"labels,omitempty"`
@@ -208,6 +251,7 @@ const (
 	FormatPrometheus Format = iota
 	FormatJSON
 	FormatCSV
+	FormatOpenMetrics
 )
 
 // FormatForPath picks the export encoding from a file extension:
@@ -230,6 +274,8 @@ func Write(w io.Writer, r *Registry, f Format) error {
 		return WriteJSON(w, r)
 	case FormatCSV:
 		return WriteCSV(w, r)
+	case FormatOpenMetrics:
+		return WriteOpenMetrics(w, r)
 	}
 	return WritePrometheus(w, r)
 }

@@ -48,13 +48,22 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 type Histogram struct {
 	bounds []float64 // ascending upper bounds; +Inf implicit
 
-	mu      sync.Mutex
-	counts  []uint64 // len(bounds)+1; last is the +Inf bucket
-	count   uint64
-	sum     float64
-	min     float64
-	max     float64
-	dropped uint64 // rejected observations (NaN, ±Inf, negative)
+	mu        sync.Mutex
+	counts    []uint64 // len(bounds)+1; last is the +Inf bucket
+	count     uint64
+	sum       float64
+	min       float64
+	max       float64
+	dropped   uint64     // rejected observations (NaN, ±Inf, negative)
+	exemplars []Exemplar // lazily allocated, len(bounds)+1; last-wins per bucket
+}
+
+// Exemplar ties one concrete observation to the trace that produced it, so
+// a histogram bucket on a dashboard links to a request trace. A zero
+// TraceID means the bucket has no exemplar.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // newHistogram builds a histogram with the given upper bounds (copied,
@@ -76,7 +85,12 @@ func newHistogram(bounds []float64) *Histogram {
 // NaN, ±Inf and negative samples are rejected — a single such value would
 // otherwise poison Sum/Min/Max and every quantile derived from them.
 // Rejections are tallied in the snapshot's Dropped count.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveWithExemplar(v, "") }
+
+// ObserveWithExemplar records one sample and, when traceID is non-empty,
+// pins it as the bucket's exemplar (last observation wins — recency is what
+// makes an exemplar actionable). The same validity guard as Observe applies.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		h.mu.Lock()
 		h.dropped++
@@ -95,6 +109,12 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.max {
 		h.max = v
 	}
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+	}
 	h.mu.Unlock()
 }
 
@@ -107,6 +127,9 @@ type HistSnapshot struct {
 	Min     float64 // +Inf when empty
 	Max     float64 // -Inf when empty
 	Dropped uint64  // observations rejected by the Observe guard
+	// Exemplars is nil until an exemplar has been recorded, else
+	// len(Counts) entries aligned with Counts (zero TraceID = none).
+	Exemplars []Exemplar
 }
 
 // Snapshot returns a consistent copy.
@@ -123,6 +146,10 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		Dropped: h.dropped,
 	}
 	copy(s.Counts, h.counts)
+	if h.exemplars != nil {
+		s.Exemplars = make([]Exemplar, len(h.exemplars))
+		copy(s.Exemplars, h.exemplars)
+	}
 	return s
 }
 

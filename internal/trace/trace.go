@@ -4,11 +4,19 @@
 // traces sampled by one of the Table-1 back-ends).
 //
 // This package records *simulated power data* — an experiment artifact. It
-// is unrelated to internal/telemetry, which instruments the simulator
-// itself (metric counters and phase spans about the pipeline's own
-// execution, exported via -metrics/-http). Rule of thumb: trace output
-// belongs in a figure; telemetry output belongs in a dashboard. See
-// DESIGN.md §Observability for the full distinction.
+// is one of three observability layers that share the word "trace" but
+// nothing else:
+//
+//   - internal/trace (this package): simulated power data; output belongs
+//     in a figure;
+//   - internal/telemetry: instruments the simulator itself (metric
+//     counters and phase spans about the pipeline's own execution,
+//     exported via -metrics/-http); output belongs in a dashboard;
+//   - internal/obs: per-request tracing, logging and SLO accounting for
+//     the served control plane (varpowerd); output belongs in an incident
+//     investigation — one request's span tree, not a series or a counter.
+//
+// See DESIGN.md §Observability and §13 for the full distinction.
 //
 // The simulation is steady-state per run, so a module's true trace is
 // piecewise constant: full draw while its rank computes, reduced draw
