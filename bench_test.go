@@ -580,6 +580,57 @@ func BenchmarkServeSolve(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotRestore measures the crash-safety hot paths: writing a
+// primed system's durable snapshot ("snapshot") and booting a server warm
+// from it ("restore"). The restore path is the failover-latency story — a
+// secondary adopting a dead primary's state runs exactly this code — so its
+// ns/op and allocs/op are tracked in BENCH.json and capped by
+// benchgate.json.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	dir := b.TempDir()
+	cfg := service.Config{Systems: []string{"HA8K"}, Modules: 32, Seed: 0x5c15, StateDir: dir}
+	srv, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL)
+	ctx := context.Background()
+	if _, err := c.Recalibrate(ctx, service.RecalibrateRequest{System: "HA8K", Modules: []int{0, 1}}); err != nil {
+		b.Fatal(err)
+	}
+	req := service.SolveRequest{System: "HA8K", Workload: "dgemm", Scheme: "vapc", BudgetWatts: 2400}
+	if _, _, err := c.Solve(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			warm, err := service.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := warm.RestoreReport()
+			if len(rep) != 1 || rep[0].Outcome != "warm" {
+				b.Fatalf("restore outcome %+v, want warm", rep)
+			}
+		}
+	})
+}
+
 // --- Attribution (internal/attrib) ---------------------------------------------
 
 // BenchmarkAttribSample measures the attribution collector's per-sample hot

@@ -11,6 +11,17 @@
 //	          [-job-workers N] [-cache N] [-selftest]
 //	          [-trace on|off] [-trace-ring N] [-log-level LVL]
 //	          [-metrics FILE] [-telemetry] [-quiet] [-v]
+//	          [-state-dir DIR] [-snapshot-interval D]
+//	          [-shard NAME -shard-set SET | -route-to SET]
+//
+// With -state-dir the daemon restores its systems from durable snapshots
+// at boot (skipping PVT calibration on a warm restore), snapshots on
+// drain, on POST /v1/snapshot and every -snapshot-interval. With -shard
+// the process serves only the systems it primarily owns inside -shard-set
+// (rendezvous hashing), registering its secondary systems lazily; with
+// -route-to it runs as a router instead, proxying the control plane to
+// the owning shard with circuit-breaker failover to the designated
+// secondary (see DESIGN.md §14).
 //
 // Endpoints (see internal/service):
 //
@@ -69,11 +80,13 @@ import (
 	"time"
 
 	"varpower/internal/cliutil"
+	"varpower/internal/cluster"
 	"varpower/internal/faults"
 	reqobs "varpower/internal/obs"
 	"varpower/internal/service"
 	"varpower/internal/service/client"
 	"varpower/internal/service/loadgen"
+	"varpower/internal/shard"
 	"varpower/internal/telemetry"
 )
 
@@ -94,6 +107,11 @@ func main() {
 		selfC        = flag.Int("selftest-clients", 8, "client goroutines for -selftest")
 		traceMode    = flag.String("trace", "on", "request tracing + SLO monitoring: on or off (off removes all per-request overhead; response bodies are identical either way)")
 		traceRing    = flag.Int("trace-ring", 0, "retained request-trace ring capacity, half reserved for slow/error traces (0 = 256)")
+		stateDir     = flag.String("state-dir", "", "durable snapshot directory: restore owned systems from it at boot, snapshot on drain and on POST /v1/snapshot (shards sharing a fleet share this directory)")
+		snapEvery    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence when -state-dir is set (0 disables the loop; drain still snapshots)")
+		shardName    = flag.String("shard", "", "this process's shard name inside -shard-set: serve only the systems this shard primarily owns, registering secondary systems lazily")
+		shardSet     = flag.String("shard-set", "", "the fleet: comma-separated name=addr members (same string on every shard and router)")
+		routeTo      = flag.String("route-to", "", "run as a router over this shard set (name=addr,...) instead of serving systems: proxy /v1/* to owners with breaker-guarded failover")
 		obs          = cliutil.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -103,6 +121,16 @@ func main() {
 	}
 	if err := obs.Start("varpowerd"); err != nil {
 		fail(err)
+	}
+
+	if *routeTo != "" {
+		if err := runRouter(*addr, *addrFile, *routeTo, *traceMode, *traceRing, obs); err != nil {
+			fail(err)
+		}
+		if err := obs.Close(); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	var observer *reqobs.Observer
@@ -129,8 +157,13 @@ func main() {
 		// -faults (cliutil) installs the plan on every owned system, so a
 		// drifting cluster can be served and repaired through /v1/attrib +
 		// /v1/recalibrate without the -selftest harness.
-		Faults: obs.FaultPlan(),
-		Obs:    observer,
+		Faults:           obs.FaultPlan(),
+		Obs:              observer,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapEvery,
+	}
+	if *stateDir == "" {
+		cfg.SnapshotInterval = 0
 	}
 	if *systems != "" {
 		for _, s := range strings.Split(*systems, ",") {
@@ -142,6 +175,24 @@ func main() {
 		// The self-test only hammers one preset; skip calibrating the rest.
 		cfg.Systems = []string{"HA8K"}
 	}
+	if *shardName != "" {
+		if *shardSet == "" {
+			fail(fmt.Errorf("-shard requires -shard-set"))
+		}
+		set, err := shard.ParseSet(*shardSet)
+		if err != nil {
+			fail(err)
+		}
+		all := cfg.Systems
+		if len(all) == 0 {
+			for _, s := range cluster.Presets() {
+				all = append(all, s.Name)
+			}
+		}
+		eager, lazy := shard.Assign(set, *shardName, all)
+		cfg.Systems, cfg.LazySystems = eager, lazy
+		obs.Infof("shard %q: primary for %v, secondary for %v", *shardName, eager, lazy)
+	}
 
 	obs.Infof("calibrating %d-module systems (seed %#x)...", cfgModules(cfg), cfgSeed(cfg))
 	buildStart := time.Now()
@@ -150,6 +201,20 @@ func main() {
 		fail(err)
 	}
 	obs.Infof("calibration done in %s", time.Since(buildStart).Round(time.Millisecond))
+	for _, ro := range srv.RestoreReport() {
+		if *stateDir == "" {
+			break
+		}
+		switch ro.Outcome {
+		case "warm":
+			// CI greps for this exact shape; keep it stable.
+			obs.Infof("restored %s from snapshot (generation %d)", ro.System, ro.Generation)
+		case "cold":
+			obs.Infof("built %s cold (%s)", ro.System, ro.Note)
+		default:
+			obs.Infof("rebuilt %s cold: snapshot %s (%s)", ro.System, ro.Outcome, ro.Note)
+		}
+	}
 
 	hs, err := telemetry.StartServer(*addr, srv.Handler())
 	if err != nil {
@@ -182,6 +247,55 @@ func main() {
 	if runErr != nil {
 		fail(runErr)
 	}
+}
+
+// runRouter serves router mode: no systems of its own, just breaker-guarded
+// proxying over the shard set until SIGTERM/SIGINT.
+func runRouter(addr, addrFile, spec, traceMode string, traceRing int, obs *cliutil.Obs) error {
+	set, err := shard.ParseSet(spec)
+	if err != nil {
+		return err
+	}
+	var observer *reqobs.Observer
+	switch traceMode {
+	case "on", "":
+		observer = reqobs.New(reqobs.Config{
+			RingSize: traceRing,
+			Logger:   obs.Logger(),
+			// Default route objectives plus a per-shard availability
+			// objective, so /v1/slo burns when a shard starts failing.
+			Objectives: shard.Objectives(set),
+		})
+	case "off":
+	default:
+		return fmt.Errorf("-trace must be on or off, got %q", traceMode)
+	}
+	r, err := shard.NewRouter(shard.RouterConfig{Set: set, Obs: observer})
+	if err != nil {
+		return err
+	}
+	r.Start()
+	hs, err := telemetry.StartServer(addr, r.Handler())
+	if err != nil {
+		return err
+	}
+	for _, m := range set.Members() {
+		obs.Infof("routing to shard %q at %s", m.Name, m.Addr)
+	}
+	obs.Infof("router serving on http://%s", hs.Addr())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(hs.Addr()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	obs.Infof("received %v, stopping router...", s)
+	r.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
 }
 
 // shutdown runs the graceful drain sequence: listener first (stop accepting,
@@ -225,7 +339,126 @@ func runSelftest(addr string, hotRequests, clients int, traced bool) error {
 	if err := runDriftSelftest(traced); err != nil {
 		return err
 	}
+	if err := runFailoverSelftest(); err != nil {
+		return err
+	}
 	fmt.Println("selftest: PASS")
+	return nil
+}
+
+// runFailoverSelftest is the crash-safety acceptance gate: an in-process
+// two-shard fleet over a shared state directory, solve load through a
+// router, the primary killed ungracefully mid-window, then revived over the
+// same directory. The gate demands zero non-budget errors at the router
+// (only 429/503, no hung requests, every 200 byte-identical), failover
+// traffic actually served, and the revived shard's first solve answered
+// within 1 s from restored state — a cache hit at the pre-kill PVT
+// generation with the restored flag up.
+func runFailoverSelftest() error {
+	stateDir, err := os.MkdirTemp("", "varpower-selftest-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	newShard := func(eager, lazy []string) (*service.Server, *telemetry.Server, error) {
+		svc, err := service.New(service.Config{
+			Systems:     eager,
+			LazySystems: lazy,
+			Modules:     32,
+			StateDir:    stateDir,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		hs, err := telemetry.StartServer("127.0.0.1:0", svc.Handler())
+		if err != nil {
+			return nil, nil, err
+		}
+		return svc, hs, nil
+	}
+
+	// Ownership depends only on member names; pick names so "p" is HA8K's
+	// primary regardless of which addresses the kernel hands out.
+	namer, err := shard.ParseSet("p=h:1,q=h:2")
+	if err != nil {
+		return err
+	}
+	primaryName := namer.Primary("HA8K").Name
+	secondaryName := "p"
+	if primaryName == "p" {
+		secondaryName = "q"
+	}
+
+	primarySvc, primaryHS, err := newShard([]string{"HA8K"}, nil)
+	if err != nil {
+		return fmt.Errorf("selftest: primary shard: %w", err)
+	}
+	_, secondaryHS, err := newShard([]string{"Cab"}, []string{"HA8K"})
+	if err != nil {
+		return fmt.Errorf("selftest: secondary shard: %w", err)
+	}
+	defer secondaryHS.Kill()
+
+	// Prime the primary with non-trivial state: a recalibration moves the
+	// PVT generation to 1 (making generation continuity a real check), a
+	// solve populates the cache, a snapshot persists both.
+	pc := client.New("http://" + primaryHS.Addr())
+	if _, err := pc.Recalibrate(ctx, service.RecalibrateRequest{System: "HA8K", Modules: []int{0, 1}}); err != nil {
+		return fmt.Errorf("selftest: prime recalibrate: %w", err)
+	}
+	req := service.SolveRequest{System: "HA8K", Workload: "*DGEMM", Scheme: "VaPc", BudgetWatts: 20000}
+	if _, _, err := pc.Solve(ctx, req); err != nil {
+		return fmt.Errorf("selftest: prime solve: %w", err)
+	}
+	if _, err := primarySvc.Snapshot(); err != nil {
+		return fmt.Errorf("selftest: prime snapshot: %w", err)
+	}
+
+	set, err := shard.ParseSet(fmt.Sprintf("%s=%s,%s=%s",
+		primaryName, primaryHS.Addr(), secondaryName, secondaryHS.Addr()))
+	if err != nil {
+		return err
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Set:     set,
+		Breaker: shard.BreakerConfig{FailThreshold: 2, OpenBackoff: 25 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Stop()
+	front, err := telemetry.StartServer("127.0.0.1:0", router.Handler())
+	if err != nil {
+		return err
+	}
+	defer front.Kill()
+
+	rep, err := loadgen.ChaosCheck(ctx, loadgen.ChaosOptions{
+		RouterURL:   "http://" + front.Addr(),
+		Request:     req,
+		Concurrency: 4,
+		Duration:    2 * time.Second,
+		KillAfter:   500 * time.Millisecond,
+		Kill:        primaryHS.Kill,
+		Restart: func() (string, error) {
+			_, hs, err := newShard([]string{"HA8K"}, nil)
+			if err != nil {
+				return "", err
+			}
+			return "http://" + hs.Addr(), nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("selftest: %w", err)
+	}
+	loadgen.WriteChaosReport(os.Stdout, rep)
+	if err := rep.Verify(time.Second); err != nil {
+		return fmt.Errorf("selftest: %w", err)
+	}
 	return nil
 }
 

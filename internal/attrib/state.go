@@ -1,0 +1,131 @@
+package attrib
+
+import "sort"
+
+// State is the serializable form of a Collector — the attribution side of
+// a varpowerd shard snapshot. It captures everything a warm restart needs
+// to keep the continuous-observability loop honest across a crash: the
+// per-job energy ledger (a restarted shard must not zero a tenant's
+// accumulated joules), each module's drift window in chronological order
+// (so a drifter flagged before the crash is still flagged after), and the
+// already-emitted flag markers (so a restore does not re-announce old
+// drift events to the flight recorder).
+type State struct {
+	Jobs    []JobEnergy   `json:"jobs,omitempty"`
+	Modules []ModuleState `json:"modules,omitempty"`
+	Runs    int           `json:"runs"`
+	Samples int           `json:"samples"`
+	Emitted []int         `json:"emitted,omitempty"`
+}
+
+// ModuleState is one module's drift-window state. Window holds the
+// retained residual samples oldest-first (at most the configured window
+// size); Samples is the lifetime trusted-sample count, which can exceed
+// len(Window).
+type ModuleState struct {
+	Module    int       `json:"module"`
+	Window    []float64 `json:"window,omitempty"`
+	Samples   int       `json:"samples"`
+	Untrusted int       `json:"untrusted,omitempty"`
+}
+
+// State snapshots the collector for serialization. Deterministic: jobs in
+// first-observed order, modules in ascending ID order, windows rendered
+// chronologically regardless of the ring's internal rotation.
+func (c *Collector) State() *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &State{Runs: c.runs, Samples: c.samples}
+	for _, key := range c.order {
+		a := c.jobs[key]
+		s.Jobs = append(s.Jobs, JobEnergy{
+			Tenant: a.tenant, Job: a.job, Workload: a.workload,
+			Runs: a.runs, ElapsedS: a.elapsedS,
+			BusyJ: a.busyJ, WaitJ: a.waitJ, IdleJ: a.idleJ,
+			TotalJ: a.busyJ + a.waitJ + a.idleJ,
+		})
+	}
+	ids := make([]int, 0, len(c.mods))
+	for id := range c.mods {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := c.mods[id]
+		ms := ModuleState{Module: id, Samples: w.n, Untrusted: w.untrusted}
+		filled := w.n
+		if filled > len(w.ring) {
+			filled = len(w.ring)
+		}
+		if w.n >= len(w.ring) {
+			// Full ring: oldest sample sits at idx.
+			ms.Window = append(ms.Window, w.ring[w.idx:]...)
+			ms.Window = append(ms.Window, w.ring[:w.idx]...)
+		} else {
+			ms.Window = append(ms.Window, w.ring[:filled]...)
+		}
+		s.Modules = append(s.Modules, ms)
+	}
+	for id := range c.emitted {
+		if c.emitted[id] {
+			s.Emitted = append(s.Emitted, id)
+		}
+	}
+	sort.Ints(s.Emitted)
+	return s
+}
+
+// Restore replaces the collector's contents with a previously captured
+// State. The drift windows are replayed chronologically into rings of the
+// *current* configuration's size (a restore across a window-size change
+// keeps the most recent samples); lifetime counters are adopted as-is.
+// Telemetry counters are not replayed — they are process-scoped rates, and
+// the restored process starts its own.
+func (c *Collector) Restore(s *State) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs = make(map[string]*jobAccount, len(s.Jobs))
+	c.order = c.order[:0]
+	for _, j := range s.Jobs {
+		key := j.Tenant + "\x00" + j.Job
+		if _, dup := c.jobs[key]; dup {
+			continue
+		}
+		c.jobs[key] = &jobAccount{
+			tenant: j.Tenant, job: j.Job, workload: j.Workload,
+			runs: j.Runs, elapsedS: j.ElapsedS,
+			busyJ: j.BusyJ, waitJ: j.WaitJ, idleJ: j.IdleJ,
+		}
+		c.order = append(c.order, key)
+	}
+	c.mods = make(map[int]*moduleWindow, len(s.Modules))
+	for _, ms := range s.Modules {
+		w := &moduleWindow{ring: make([]float64, c.cfg.Window)}
+		win := ms.Window
+		if len(win) > c.cfg.Window {
+			win = win[len(win)-c.cfg.Window:] // keep the most recent
+		}
+		for _, v := range win {
+			w.ring[w.idx] = v
+			w.idx++
+			if w.idx == len(w.ring) {
+				w.idx = 0
+			}
+		}
+		w.n = ms.Samples
+		if w.n < len(win) {
+			w.n = len(win)
+		}
+		w.untrusted = ms.Untrusted
+		c.mods[ms.Module] = w
+	}
+	c.runs = s.Runs
+	c.samples = s.Samples
+	c.emitted = make(map[int]bool, len(s.Emitted))
+	for _, id := range s.Emitted {
+		c.emitted[id] = true
+	}
+}

@@ -1,0 +1,117 @@
+package attrib
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// populate drives a collector through a representative history: several
+// jobs across tenants, trusted samples beyond the ring size (so rotation
+// matters), untrusted observations, and an emitted drift flag.
+func populate(t *testing.T, c *Collector) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		c.ObserveRun(RunObservation{
+			Tenant:   "acme",
+			JobID:    "batch-1",
+			Workload: "ep",
+			Elapsed:  1.5,
+			Ranks: []RankObservation{
+				{Rank: 0, Module: 0, Busy: 1.2, Wait: 0.3, MeasuredJ: 120, ExpectedJ: 118, BusyShare: 0.8, IdleFloorW: 20},
+				{Rank: 1, Module: 1, Busy: 1.1, Wait: 0.4, MeasuredJ: 130, ExpectedJ: 126, BusyShare: 0.75, IdleFloorW: 20},
+			},
+		})
+	}
+	c.ObserveRun(RunObservation{
+		Tenant:   "beta",
+		JobID:    "interactive",
+		Workload: "cg",
+		Elapsed:  0.5,
+		Ranks: []RankObservation{
+			{Rank: 0, Module: 2, Busy: 0.4, Wait: 0.1, MeasuredJ: 40, ExpectedJ: 44, BusyShare: 0.9, IdleFloorW: 20, Untrusted: true},
+		},
+	})
+	// Push one module's ring past capacity so restore must preserve the
+	// chronological order across the rotation point.
+	for i := 0; i < c.cfg.Window+7; i++ {
+		c.Sample(1, 1.0+float64(i)/1000)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(Config{Window: 16})
+	populate(t, src)
+	before := src.Snapshot()
+
+	st := src.State()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var decoded State
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+
+	dst := New(Config{Window: 16})
+	dst.Restore(&decoded)
+	after := dst.Snapshot()
+
+	if !reflect.DeepEqual(before, after) {
+		b, _ := json.MarshalIndent(before, "", " ")
+		a, _ := json.MarshalIndent(after, "", " ")
+		t.Fatalf("snapshot diverged across state round trip:\nbefore=%s\nafter=%s", b, a)
+	}
+
+	// Continuing to ingest after restore must behave like the original: the
+	// restored rings are positioned so new samples evict the oldest.
+	src.Sample(1, 1.25)
+	dst.Sample(1, 1.25)
+	if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+		t.Fatal("post-restore ingestion diverged from the original collector")
+	}
+}
+
+func TestStateRoundTripPartialRing(t *testing.T) {
+	src := New(Config{Window: 64})
+	for i := 0; i < 5; i++ { // well under the window: partial ring path
+		src.Sample(3, 1.0+float64(i)/100)
+	}
+	dst := New(Config{Window: 64})
+	dst.Restore(src.State())
+	if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+		t.Fatal("partial-ring restore diverged")
+	}
+}
+
+func TestRestoreAcrossWindowResize(t *testing.T) {
+	src := New(Config{Window: 32})
+	for i := 0; i < 40; i++ {
+		src.Sample(0, 1.0+float64(i)/1000)
+	}
+	st := src.State()
+	dst := New(Config{Window: 8}) // shrink: keep only the most recent 8
+	dst.Restore(st)
+	got := dst.State().Modules[0]
+	if len(got.Window) != 8 {
+		t.Fatalf("resized restore kept %d samples, want 8", len(got.Window))
+	}
+	want := st.Modules[0].Window[len(st.Modules[0].Window)-8:]
+	if !reflect.DeepEqual(got.Window, want) {
+		t.Fatalf("resized restore kept %v, want the most recent %v", got.Window, want)
+	}
+	if got.Samples != 40 {
+		t.Fatalf("lifetime sample count %d, want 40 preserved", got.Samples)
+	}
+}
+
+func TestRestoreNilIsNoop(t *testing.T) {
+	c := New(Config{})
+	populate(t, c)
+	before := c.Snapshot()
+	c.Restore(nil)
+	if !reflect.DeepEqual(before, c.Snapshot()) {
+		t.Fatal("Restore(nil) mutated the collector")
+	}
+}

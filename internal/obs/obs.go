@@ -447,6 +447,18 @@ func (o *Observer) SLOReport() *SLOReport {
 	return o.slo.Report()
 }
 
+// RecordSLO folds one externally observed outcome into a monitored route's
+// burn windows — the hook for callers that watch work the HTTP middleware
+// never sees, like the shard router recording per-shard proxy outcomes
+// under synthetic "shard:<name>" routes. Routes without an objective (and a
+// nil observer) are ignored, matching the middleware's behaviour.
+func (o *Observer) RecordSLO(route string, dur time.Duration, status int) {
+	if o == nil {
+		return
+	}
+	o.slo.Record(route, dur, status)
+}
+
 // PublishSLO refreshes the varpower_slo_* telemetry gauges from the current
 // burn rates (the pull-model hook the metrics endpoints call).
 func (o *Observer) PublishSLO() {

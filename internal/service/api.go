@@ -165,6 +165,11 @@ type RecalibrateResponse struct {
 //	{"error": {"status": 400, "code": "bad_request", "message": "..."}}
 type APIError struct {
 	Err ErrorBody `json:"error"`
+	// RetryAfter is the server's Retry-After hint in seconds (0 when the
+	// response carried none). It travels in the header, not the JSON body,
+	// so the client fills it in after decoding; retry loops use it as the
+	// backoff floor.
+	RetryAfter int `json:"-"`
 }
 
 // ErrorBody is APIError's payload.

@@ -126,6 +126,55 @@ func (c *flightCache[V]) Do(key string, fn func() (V, error)) (V, error, Disposi
 	return e.val, e.err, DispMiss
 }
 
+// cachedEntry is one retained (key, value) pair, for snapshot export.
+type cachedEntry[V any] struct {
+	key string
+	val V
+}
+
+// export returns the retained completed entries whose keys satisfy keep, in
+// insertion order. In-flight computes are skipped — a snapshot captures
+// finished answers only.
+func (c *flightCache[V]) export(keep func(string) bool) []cachedEntry[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []cachedEntry[V]
+	for _, key := range c.order {
+		if !keep(key) {
+			continue
+		}
+		e, ok := c.entries[key]
+		if !ok {
+			continue
+		}
+		out = append(out, cachedEntry[V]{key: key, val: e.val})
+	}
+	return out
+}
+
+// seed pre-populates the cache with completed entries (a snapshot restore).
+// Existing keys win over seeded ones; the capacity bound applies as usual,
+// so an over-large snapshot evicts its own oldest entries, never live state.
+func (c *flightCache[V]) seed(entries []cachedEntry[V]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, in := range entries {
+		if _, dup := c.entries[in.key]; dup {
+			continue
+		}
+		e := &flightEntry[V]{done: make(chan struct{}), val: in.val}
+		close(e.done)
+		c.entries[in.key] = e
+		c.order = append(c.order, in.key)
+	}
+	for c.cap > 0 && len(c.order) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.stats.Evicted++
+	}
+}
+
 // Stats snapshots the cache's counters.
 func (c *flightCache[V]) Stats() CacheStats {
 	c.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -106,9 +107,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (stri
 	if c.Retries > 0 {
 		reqID = c.newRequestID()
 	}
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
 	}
 	var disp string
 	var err error
@@ -118,11 +119,33 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (stri
 		if err == nil || attempt >= c.Retries || !retryable(status, err) {
 			return disp, err
 		}
-		select {
-		case <-ctx.Done():
-			return disp, ctx.Err()
-		case <-time.After(backoff * time.Duration(attempt+1)):
+		// Linear client-side backoff, floored by the server's Retry-After
+		// hint: when the daemon says "come back in N seconds", sleeping less
+		// only burns an attempt on a request the queue will shed again.
+		backoff := base * time.Duration(attempt+1)
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+			if floor := time.Duration(apiErr.RetryAfter) * time.Second; backoff < floor {
+				backoff = floor
+			}
 		}
+		if !sleepCtx(ctx, backoff) {
+			return disp, ctx.Err()
+		}
+	}
+}
+
+// sleepCtx waits for d or until ctx is done, whichever is first, stopping
+// the timer either way (time.After would leak it until expiry). Reports
+// whether the full backoff elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -164,9 +187,12 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, payloa
 	if resp.StatusCode/100 != 2 {
 		var apiErr service.APIError
 		if jsonErr := json.Unmarshal(raw, &apiErr); jsonErr == nil && apiErr.Err.Status != 0 {
-			// Preserve Retry-After as part of the error for 429 handling.
+			// Surface Retry-After structurally: the retry loop uses it as
+			// the backoff floor, and callers can inspect it for 429 handling.
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				apiErr.Err.Message += " (Retry-After: " + ra + "s)"
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					apiErr.RetryAfter = secs
+				}
 			}
 			return disp, resp.StatusCode, &apiErr
 		}
@@ -178,6 +204,53 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, payloa
 		}
 	}
 	return disp, resp.StatusCode, nil
+}
+
+// Forwarded is a raw proxied response: status, body bytes and the
+// passthrough headers a router must relay untouched.
+type Forwarded struct {
+	Status int
+	Body   []byte
+	Header http.Header
+}
+
+// Forward issues one raw attempt of method+path with the given body — no
+// retries, no decoding — and returns the response verbatim. This is the
+// router's proxy primitive: relaying the exact bytes preserves the
+// shard's byte-identical solve bodies and its X-Varpower-Cache /
+// Retry-After headers; a transport-level error (shard down, connection
+// refused) is the only error return, and feeds the circuit breaker.
+func (c *Client) Forward(ctx context.Context, method, path string, body []byte, hdr http.Header) (*Forwarded, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if body != nil && req.Header.Get("Content-Type") == "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	return &Forwarded{Status: resp.StatusCode, Body: raw, Header: resp.Header}, nil
 }
 
 // Healthz fetches /healthz.

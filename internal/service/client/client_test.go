@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"varpower/internal/service"
+)
+
+// shedServer answers every request with 429 + Retry-After and a structured
+// error body, counting attempts.
+func shedServer(retryAfter string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"status":429,"code":"queue_full","message":"shed"}}`))
+	}))
+	return hs, &hits
+}
+
+func TestRetryAfterSurfacedStructurally(t *testing.T) {
+	hs, _ := shedServer("7")
+	defer hs.Close()
+	c := New(hs.URL)
+	_, err := c.Healthz(context.Background())
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *service.APIError, got %v", err)
+	}
+	if apiErr.RetryAfter != 7 {
+		t.Fatalf("RetryAfter = %d, want 7 (parsed from the header)", apiErr.RetryAfter)
+	}
+	if apiErr.Err.Code != service.CodeQueueFull {
+		t.Fatalf("code = %q", apiErr.Err.Code)
+	}
+}
+
+// TestBackoffHonorsContextAndRetryAfterFloor: the server demands a 5 s
+// backoff; the caller's context expires in 60 ms. A correct client sleeps
+// at the Retry-After floor (not its own 1 ms base) AND aborts that sleep
+// the moment the context dies — so exactly one attempt lands and the call
+// returns promptly with the context's error.
+func TestBackoffHonorsContextAndRetryAfterFloor(t *testing.T) {
+	hs, hits := shedServer("5")
+	defer hs.Close()
+	c := New(hs.URL)
+	c.Retries = 3
+	c.RetryBackoff = time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Healthz(ctx)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("call blocked %v: backoff sleep ignored the dead context", elapsed)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("%d attempts before the deadline, want 1: the 1 ms base backoff ignored the 5 s Retry-After floor", n)
+	}
+}
+
+func TestRetryRecoversAfterShedding(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0") // malformed-as-floor: ignored
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"status":503,"code":"draining","message":"later"}}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+	c.Retries = 2
+	c.RetryBackoff = time.Millisecond
+	out, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("healthz = %v", out)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("%d attempts, want 2", hits.Load())
+	}
+}
+
+// TestForwardRelaysVerbatim: the proxy primitive must hand back the exact
+// bytes, status and passthrough headers.
+func TestForwardRelaysVerbatim(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Tenant") != "acme" {
+			t.Errorf("forwarded header missing: %v", r.Header)
+		}
+		w.Header().Set("X-Varpower-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"alpha":1.25}`))
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+	hdr := http.Header{"X-Tenant": []string{"acme"}}
+	fwd, err := c.Forward(context.Background(), http.MethodPost, "/v1/solve", []byte(`{"system":"HA8K"}`), hdr)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if fwd.Status != http.StatusOK || string(fwd.Body) != `{"alpha":1.25}` {
+		t.Fatalf("forwarded = %d %s", fwd.Status, fwd.Body)
+	}
+	if fwd.Header.Get("X-Varpower-Cache") != "hit" {
+		t.Fatalf("passthrough header lost: %v", fwd.Header)
+	}
+}

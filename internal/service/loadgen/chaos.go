@@ -1,0 +1,348 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"varpower/internal/service"
+)
+
+// ChaosOptions parameterises a chaos-under-load check: sustained solve
+// traffic through a shard router while a shard is killed (and optionally
+// restarted) mid-run.
+type ChaosOptions struct {
+	// RouterURL is the shard router front.
+	RouterURL string
+	// Request is the solve the load repeats; zero value selects the loadgen
+	// default.
+	Request service.SolveRequest
+	// Concurrency is the load goroutine count (default 4).
+	Concurrency int
+	// Duration is the total load window (default 3s); KillAfter is when
+	// Kill fires inside it (default Duration/3).
+	Duration  time.Duration
+	KillAfter time.Duration
+	// Kill ungracefully terminates the system's primary shard (required).
+	Kill func()
+	// Restart optionally revives the killed shard over the same state
+	// directory and returns its base URL once listening. When set, the
+	// check gates the revived shard's first solve: served within
+	// FirstSolveBudget, from restored (cached) state, at the pre-kill PVT
+	// generation, with the restored flag up.
+	Restart func() (string, error)
+	// FirstSolveBudget bounds the restarted shard's first solve (default 1s).
+	FirstSolveBudget time.Duration
+	// RequestTimeout bounds every load request; a request that exceeds it
+	// counts as hung — a budget violation, the failure mode the breaker
+	// exists to prevent (default 5s).
+	RequestTimeout time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.KillAfter <= 0 {
+		o.KillAfter = o.Duration / 3
+	}
+	if o.FirstSolveBudget <= 0 {
+		o.FirstSolveBudget = time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Request.System == "" {
+		o.Request = service.SolveRequest{
+			System:      "HA8K",
+			Workload:    "*DGEMM",
+			Scheme:      "VaPc",
+			BudgetWatts: 20000,
+		}
+	}
+	return o
+}
+
+// ChaosReport is a chaos check's outcome.
+type ChaosReport struct {
+	// Requests, OK and Budgeted count the load window's outcomes: OK is
+	// 200s, Budgeted is 429/503 sheds — the only errors the budget allows.
+	Requests int
+	OK       int
+	Budgeted int
+	// OKAfterKill counts 200s answered after Kill fired — the proof the
+	// failover path carried traffic.
+	OKAfterKill int
+	// Violations are outcomes outside the budget: transport errors, hung
+	// requests, unexpected statuses, or 200 bodies that diverged from the
+	// pre-kill capture (first few retained verbatim).
+	Violations []string
+
+	// PreGeneration is the system's PVT generation captured before the kill.
+	PreGeneration uint64
+
+	// Restart gates (zero / false when ChaosOptions.Restart is unset).
+	FirstSolve            time.Duration
+	FirstSolveDisposition string
+	RestoredFlag          bool
+	GenerationContinuity  bool
+	RestartChecked        bool
+}
+
+// maxRetainedViolations caps the violation list.
+const maxRetainedViolations = 8
+
+// Verify returns nil when the run stayed inside the error budget and, if a
+// restart was exercised, the revived shard met every warm-restore gate.
+func (r ChaosReport) Verify(budget time.Duration) error {
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("chaos: %d budget violations, first: %s", len(r.Violations), r.Violations[0])
+	}
+	if r.OKAfterKill == 0 {
+		return fmt.Errorf("chaos: no successful solve after the kill — failover never carried traffic")
+	}
+	if !r.RestartChecked {
+		return nil
+	}
+	if r.FirstSolve > budget {
+		return fmt.Errorf("chaos: restarted shard's first solve took %s, budget %s", r.FirstSolve, budget)
+	}
+	if r.FirstSolveDisposition != string(service.DispHit) {
+		return fmt.Errorf("chaos: restarted shard's first solve disposition %q, want %q (restored cache must answer)",
+			r.FirstSolveDisposition, service.DispHit)
+	}
+	if !r.GenerationContinuity {
+		return fmt.Errorf("chaos: restarted shard's PVT generation diverged from pre-kill generation %d", r.PreGeneration)
+	}
+	if !r.RestoredFlag {
+		return fmt.Errorf("chaos: restarted shard does not report restored=true")
+	}
+	return nil
+}
+
+// chaosSolve issues one raw solve and returns status, body and the cache
+// disposition header. Raw HTTP (no client retries) so every individual
+// outcome is visible to the budget accounting.
+func chaosSolve(ctx context.Context, hc *http.Client, baseURL string, body []byte) (int, []byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Varpower-Cache"), nil
+}
+
+// systemRow fetches one system's /v1/systems row from baseURL.
+func systemRow(ctx context.Context, hc *http.Client, baseURL, system string) (gen uint64, restored bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/systems", nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Systems []struct {
+			Name          string `json:"name"`
+			PVTGeneration uint64 `json:"pvt_generation"`
+			Restored      bool   `json:"restored"`
+		} `json:"systems"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, false, err
+	}
+	for _, s := range out.Systems {
+		if s.Name == system {
+			return s.PVTGeneration, s.Restored, nil
+		}
+	}
+	return 0, false, fmt.Errorf("system %q not listed by %s", system, baseURL)
+}
+
+// ChaosCheck runs the chaos-under-load scenario: capture a reference solve
+// through the router, sustain concurrent load, kill the owning shard
+// mid-window, and assert the router held the error budget — only 429/503
+// sheds, no hung requests, and every 200 byte-identical to the reference.
+// With a Restart hook it then revives the shard and gates its warm
+// restore.
+func ChaosCheck(ctx context.Context, opts ChaosOptions) (ChaosReport, error) {
+	opts = opts.withDefaults()
+	hc := &http.Client{}
+	reqBody, err := json.Marshal(opts.Request)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
+	// Reference capture: the byte-identity baseline every later 200 must
+	// match, and the generation the restarted shard must come back at.
+	status, refBody, _, err := chaosSolve(ctx, hc, opts.RouterURL, reqBody)
+	if err != nil || status != http.StatusOK {
+		return ChaosReport{}, fmt.Errorf("chaos: reference solve failed (status %d): %w", status, err)
+	}
+	rep := ChaosReport{}
+	if gen, _, err := systemRow(ctx, hc, opts.RouterURL, opts.Request.System); err == nil {
+		rep.PreGeneration = gen
+	}
+
+	var (
+		mu       sync.Mutex
+		killedAt time.Time
+		wg       sync.WaitGroup
+	)
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(rep.Violations) < maxRetainedViolations {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		} else {
+			rep.Violations[maxRetainedViolations-1] = "... more suppressed"
+		}
+	}
+
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	defer stopLoad()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for loadCtx.Err() == nil {
+				rctx, cancel := context.WithTimeout(loadCtx, opts.RequestTimeout)
+				start := time.Now()
+				status, body, _, err := chaosSolve(rctx, hc, opts.RouterURL, reqBody)
+				dur := time.Since(start)
+				cancel()
+				if loadCtx.Err() != nil {
+					return // shutdown races look like errors; don't count them
+				}
+				mu.Lock()
+				rep.Requests++
+				killed := !killedAt.IsZero()
+				mu.Unlock()
+				switch {
+				case err != nil:
+					violate("transport error after %s: %v", dur, err)
+				case dur >= opts.RequestTimeout:
+					violate("hung request: %s >= %s", dur, opts.RequestTimeout)
+				case status == http.StatusOK:
+					if !bytes.Equal(body, refBody) {
+						violate("200 body diverged from reference (%d vs %d bytes)", len(body), len(refBody))
+						break
+					}
+					mu.Lock()
+					rep.OK++
+					if killed {
+						rep.OKAfterKill++
+					}
+					mu.Unlock()
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					mu.Lock()
+					rep.Budgeted++
+					mu.Unlock()
+				default:
+					violate("status %d outside the 429/503 budget: %.120s", status, body)
+				}
+			}
+		}()
+	}
+
+	// The chaos moment.
+	select {
+	case <-time.After(opts.KillAfter):
+	case <-ctx.Done():
+		stopLoad()
+		wg.Wait()
+		return rep, ctx.Err()
+	}
+	opts.Kill()
+	mu.Lock()
+	killedAt = time.Now()
+	mu.Unlock()
+
+	select {
+	case <-time.After(opts.Duration - opts.KillAfter):
+	case <-ctx.Done():
+	}
+	stopLoad()
+	wg.Wait()
+
+	if opts.Restart == nil {
+		return rep, nil
+	}
+
+	// Revive and gate the warm restore. Process boot and health-probe
+	// convergence are excluded from the first-solve budget — the budget
+	// measures serving from restored state, not fork+exec.
+	addr, err := opts.Restart()
+	if err != nil {
+		return rep, fmt.Errorf("chaos: restart: %w", err)
+	}
+	rep.RestartChecked = true
+	healthDeadline := time.Now().Add(15 * time.Second)
+	for {
+		rctx, cancel := context.WithTimeout(ctx, time.Second)
+		req, _ := http.NewRequestWithContext(rctx, http.MethodGet, addr+"/healthz", nil)
+		resp, err := hc.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			return rep, fmt.Errorf("chaos: restarted shard never became healthy at %s", addr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	start := time.Now()
+	status, body, disp, err := chaosSolve(ctx, hc, addr, reqBody)
+	rep.FirstSolve = time.Since(start)
+	rep.FirstSolveDisposition = disp
+	if err != nil || status != http.StatusOK {
+		return rep, fmt.Errorf("chaos: restarted shard's first solve failed (status %d): %w", status, err)
+	}
+	if !bytes.Equal(body, refBody) {
+		return rep, fmt.Errorf("chaos: restarted shard's first solve body diverged from the pre-kill reference")
+	}
+	gen, restored, err := systemRow(ctx, hc, addr, opts.Request.System)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: restarted shard systems row: %w", err)
+	}
+	rep.RestoredFlag = restored
+	rep.GenerationContinuity = gen == rep.PreGeneration
+	return rep, nil
+}
+
+// WriteChaosReport renders the report for humans (the -selftest output).
+func WriteChaosReport(w io.Writer, r ChaosReport) {
+	fmt.Fprintf(w, "chaos: %d requests (%d ok, %d shed, %d ok after kill, %d violations)\n",
+		r.Requests, r.OK, r.Budgeted, r.OKAfterKill, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  violation: %s\n", v)
+	}
+	if r.RestartChecked {
+		fmt.Fprintf(w, "chaos: restarted shard first solve %s disposition=%s restored=%v generation-continuity=%v (pre-kill gen %d)\n",
+			r.FirstSolve.Round(time.Millisecond), r.FirstSolveDisposition, r.RestoredFlag, r.GenerationContinuity, r.PreGeneration)
+	}
+}

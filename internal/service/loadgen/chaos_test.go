@@ -1,0 +1,138 @@
+// Chaos tests live in package loadgen_test so they can front real
+// service.Server shards with a shard.Router — the full failover topology,
+// in process.
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"varpower/internal/service"
+	"varpower/internal/service/client"
+	"varpower/internal/service/loadgen"
+	"varpower/internal/shard"
+)
+
+// TestChaosCheckFailoverAndWarmRestart is the harness's own end-to-end
+// proof: a two-shard fleet with a shared state directory, the primary
+// killed mid-load, the secondary adopting its snapshot, and the primary
+// revived over the same directory passing every warm-restore gate.
+func TestChaosCheckFailoverAndWarmRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	ctx := context.Background()
+
+	// Ownership depends only on member names; compute it before boot.
+	dummy, err := shard.ParseSet("a=h:1,b=h:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryName := dummy.Primary("HA8K").Name
+	secondaryName := "a"
+	if primaryName == "a" {
+		secondaryName = "b"
+	}
+
+	newShard := func(eager, lazy []string) (*service.Server, *httptest.Server) {
+		svc, err := service.New(service.Config{
+			Systems:     eager,
+			LazySystems: lazy,
+			Modules:     16,
+			Seed:        0x5c15,
+			Workers:     1,
+			StateDir:    stateDir,
+		})
+		if err != nil {
+			t.Fatalf("service.New: %v", err)
+		}
+		hs := httptest.NewServer(svc.Handler())
+		return svc, hs
+	}
+
+	primarySvc, primaryHS := newShard([]string{"HA8K"}, nil)
+	_, secondaryHS := newShard([]string{"Cab"}, []string{"HA8K"})
+	t.Cleanup(secondaryHS.Close)
+
+	// Give the primary non-trivial state: a recalibration (generation 1)
+	// so the warm-restore generation-continuity gate is meaningful, then a
+	// snapshot so the secondary has something to adopt.
+	pc := client.New(primaryHS.URL)
+	if _, err := pc.Recalibrate(ctx, service.RecalibrateRequest{System: "HA8K", Modules: []int{0, 1}}); err != nil {
+		t.Fatalf("recalibrate: %v", err)
+	}
+	req := service.SolveRequest{System: "HA8K", Workload: "*DGEMM", Scheme: "VaPc", BudgetWatts: 20000}
+	if _, _, err := pc.Solve(ctx, req); err != nil {
+		t.Fatalf("prime solve: %v", err)
+	}
+	if _, err := primarySvc.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	set, err := shard.ParseSet(strings.Join([]string{
+		primaryName + "=" + primaryHS.URL,
+		secondaryName + "=" + secondaryHS.URL,
+	}, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Set:           set,
+		ProbeInterval: time.Hour, // request-driven failover only; keep the test deterministic
+		Breaker:       shard.BreakerConfig{FailThreshold: 2, OpenBackoff: 20 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+
+	rep, err := loadgen.ChaosCheck(ctx, loadgen.ChaosOptions{
+		RouterURL:   front.URL,
+		Request:     req,
+		Concurrency: 3,
+		Duration:    1200 * time.Millisecond,
+		KillAfter:   300 * time.Millisecond,
+		Kill: func() {
+			primaryHS.CloseClientConnections()
+			primaryHS.Close()
+		},
+		Restart: func() (string, error) {
+			svc, err := service.New(service.Config{
+				Systems:  []string{"HA8K"},
+				Modules:  16,
+				Seed:     0x5c15,
+				Workers:  1,
+				StateDir: stateDir,
+			})
+			if err != nil {
+				return "", err
+			}
+			hs := httptest.NewServer(svc.Handler())
+			t.Cleanup(hs.Close)
+			return hs.URL, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("ChaosCheck: %v", err)
+	}
+	loadgen.WriteChaosReport(testWriter{t}, rep)
+	if err := rep.Verify(time.Second); err != nil {
+		t.Fatalf("chaos gates: %v", err)
+	}
+	if rep.PreGeneration != 1 {
+		t.Fatalf("pre-kill generation = %d, want 1 (the recalibration)", rep.PreGeneration)
+	}
+	if rep.OK == 0 || rep.Requests == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+}
+
+// testWriter adapts t.Logf for WriteChaosReport.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

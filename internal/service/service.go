@@ -113,11 +113,28 @@ type Config struct {
 	// Obs enables request-scoped tracing, structured request logging and SLO
 	// monitoring (nil disables all three at zero per-request cost).
 	Obs *obs.Observer
+	// StateDir, when set, enables durable snapshots: each owned system's
+	// calibrated state (PVT, generation, attribution, current-generation
+	// cache rows) is persisted to <StateDir>/<system>.snap — written on
+	// Drain, on POST /v1/snapshot, and every SnapshotInterval — and restored
+	// warm at the next boot, skipping recalibration.
+	StateDir string
+	// SnapshotInterval is the periodic snapshot cadence (0 disables the
+	// loop; Drain and /v1/snapshot still write).
+	SnapshotInterval time.Duration
+	// LazySystems lists presets registered but not built at startup: the
+	// first request addressing one builds it on demand, preferring a warm
+	// restore from StateDir. This is the failover posture — a secondary
+	// shard lists its primary's systems lazily, paying nothing until the
+	// router actually fails over, then adopting the primary's latest
+	// snapshot.
+	LazySystems []string
 }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
-	if len(c.Systems) == 0 {
+	// An explicit lazy-only config is a spare shard, not "serve everything".
+	if len(c.Systems) == 0 && len(c.LazySystems) == 0 {
 		for _, s := range cluster.Presets() {
 			c.Systems = append(c.Systems, s.Name)
 		}
@@ -168,6 +185,10 @@ type baseSystem struct {
 	// recalMu serialises recalibrations (each is a real re-measurement).
 	recalMu sync.Mutex
 
+	// restored marks a system whose boot state came from a snapshot rather
+	// than a fresh calibration sweep.
+	restored bool
+
 	// collector is the system's continuous attribution + drift-detection
 	// engine; every job run on the owned cluster state streams into it.
 	collector *attrib.Collector
@@ -202,8 +223,21 @@ type calibration struct {
 // Server is the control plane's state and handler set.
 type Server struct {
 	cfg   Config
-	base  map[string]*baseSystem // key: lower-cased preset name
-	names []string               // canonical preset names, load order
+	names []string // canonical preset names, load order (eager only)
+
+	// baseMu guards base: lazy systems are built (and inserted) on first
+	// request, so the map mutates at runtime.
+	baseMu sync.RWMutex
+	base   map[string]*baseSystem // key: lower-cased preset name
+
+	// lazyMu serialises on-demand builds; lazy maps lower-cased name →
+	// spec for registered-but-unbuilt systems.
+	lazyMu    sync.Mutex
+	lazy      map[string]cluster.Spec
+	lazyNames []string
+
+	// restores records each eager system's boot outcome (warm/cold/...).
+	restores []RestoreOutcome
 
 	solves *flightCache[[]byte]
 	pmts   *flightCache[calibration]
@@ -211,6 +245,10 @@ type Server struct {
 
 	mux   *http.ServeMux
 	start time.Time
+
+	// snapStop, when non-nil, closes to stop the periodic snapshot loop.
+	snapStop chan struct{}
+	snapOnce sync.Once
 
 	// testHookBeforeJob, when set, runs at the start of every job execution;
 	// the queue tests use it to hold executors while they fill the queue.
@@ -220,12 +258,16 @@ type Server struct {
 // New instantiates the server's cluster state: every configured preset is
 // built at the serving seed and PVT-calibrated (the install-time step).
 // This is the slow part of startup — milliseconds per 192-module system —
-// and never recurs while serving.
+// and never recurs while serving. With Config.StateDir set, a system whose
+// snapshot is present, intact and configuration-compatible comes up warm
+// instead: the persisted PVT is adopted, the generation continues where it
+// left off, and the calibration sweep is skipped entirely.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:    cfg,
 		base:   make(map[string]*baseSystem),
+		lazy:   make(map[string]cluster.Spec),
 		solves: newFlightCache[[]byte]("solve", cfg.CacheSize),
 		pmts:   newFlightCache[calibration]("pmt", cfg.CacheSize),
 		queue:  newJobQueue(cfg.QueueSize, cfg.JobWorkers),
@@ -240,35 +282,143 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.base[key]; dup {
 			continue
 		}
-		n := cfg.Modules
-		if total := spec.TotalModules(); n > total {
-			n = total
-		}
-		sys, err := cluster.New(spec, n, cfg.Seed)
+		b, outcome, err := s.buildSystem(spec)
 		if err != nil {
 			return nil, err
 		}
-		if cfg.Faults != nil {
-			inj, err := faults.NewInjector(cfg.Faults)
-			if err != nil {
-				return nil, fmt.Errorf("service: fault plan for %s: %w", spec.Name, err)
-			}
-			sys.InstallFaults(inj)
-		}
-		fw, err := core.NewFrameworkWorkers(sys, nil, cfg.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
-		}
-		s.base[key] = &baseSystem{
-			spec: spec, fw: fw, pool: core.NewReplicaPool(fw),
-			collector: attrib.New(attrib.Config{}),
-		}
+		s.base[key] = b
 		s.names = append(s.names, spec.Name)
+		s.restores = append(s.restores, outcome)
+	}
+	for _, name := range cfg.LazySystems {
+		spec, err := cluster.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(spec.Name)
+		if _, eager := s.base[key]; eager {
+			continue
+		}
+		if _, dup := s.lazy[key]; dup {
+			continue
+		}
+		s.lazy[key] = spec
+		s.lazyNames = append(s.lazyNames, spec.Name)
 	}
 	s.queue.run = s.runJob
 	s.queue.start()
 	s.mux = s.routes()
+	if cfg.StateDir != "" && cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotInterval, s.snapStop)
+	}
 	return s, nil
+}
+
+// buildSystem brings one preset up: warm from a snapshot when possible,
+// cold (instantiate + PVT-calibrate) otherwise.
+func (s *Server) buildSystem(spec cluster.Spec) (*baseSystem, RestoreOutcome, error) {
+	n := s.cfg.Modules
+	if total := spec.TotalModules(); n > total {
+		n = total
+	}
+	if s.cfg.StateDir != "" {
+		if b, outcome := s.restoreSystem(spec, n); b != nil {
+			restoresTotal(outcome.Outcome).Inc()
+			return b, outcome, nil
+		} else if outcome.Outcome != "cold" {
+			// A rejected snapshot falls through to the cold build below, but
+			// the rejection itself is the reportable outcome.
+			restoresTotal(outcome.Outcome).Inc()
+			b, _, err := s.coldBuild(spec, n)
+			return b, outcome, err
+		}
+		restoresTotal("cold").Inc()
+	}
+	return s.coldBuild(spec, n)
+}
+
+// coldBuild is the from-scratch path: instantiate the cluster at the
+// serving seed, install the boot fault plan, run install-time calibration.
+func (s *Server) coldBuild(spec cluster.Spec, n int) (*baseSystem, RestoreOutcome, error) {
+	sys, err := cluster.New(spec, n, s.cfg.Seed)
+	if err != nil {
+		return nil, RestoreOutcome{}, err
+	}
+	if s.cfg.Faults != nil {
+		inj, err := faults.NewInjector(s.cfg.Faults)
+		if err != nil {
+			return nil, RestoreOutcome{}, fmt.Errorf("service: fault plan for %s: %w", spec.Name, err)
+		}
+		sys.InstallFaults(inj)
+	}
+	fw, err := core.NewFrameworkWorkers(sys, nil, s.cfg.Workers)
+	if err != nil {
+		return nil, RestoreOutcome{}, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
+	}
+	return &baseSystem{
+		spec: spec, fw: fw, pool: core.NewReplicaPool(fw),
+		collector: attrib.New(attrib.Config{}),
+	}, RestoreOutcome{System: spec.Name, Outcome: "cold", Note: "calibrated"}, nil
+}
+
+// builtSystem looks up an already-built system (no lazy materialisation).
+func (s *Server) builtSystem(name string) (*baseSystem, bool) {
+	s.baseMu.RLock()
+	defer s.baseMu.RUnlock()
+	b, ok := s.base[strings.ToLower(strings.TrimSpace(name))]
+	return b, ok
+}
+
+// builtNames lists every built system's canonical name: the eager set plus
+// any lazy systems materialised so far, in load/build order.
+func (s *Server) builtNames() []string {
+	s.baseMu.RLock()
+	defer s.baseMu.RUnlock()
+	out := make([]string, 0, len(s.names)+len(s.lazyNames))
+	out = append(out, s.names...)
+	for _, name := range s.lazyNames {
+		if _, built := s.base[strings.ToLower(name)]; built {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// servableNames lists every name the server will answer for (built or
+// lazy), for error messages.
+func (s *Server) servableNames() []string {
+	out := append([]string{}, s.names...)
+	return append(out, s.lazyNames...)
+}
+
+// baseFor resolves a request's system: a built system directly, a
+// registered lazy one by materialising it on first use — warm from the
+// state directory when the primary left a snapshot there, cold otherwise.
+func (s *Server) baseFor(name string) (*baseSystem, bool) {
+	if b, ok := s.builtSystem(name); ok {
+		return b, true
+	}
+	key := strings.ToLower(strings.TrimSpace(name))
+	s.lazyMu.Lock()
+	defer s.lazyMu.Unlock()
+	// Re-check under the build lock: a concurrent request may have built it.
+	if b, ok := s.builtSystem(key); ok {
+		return b, true
+	}
+	spec, ok := s.lazy[key]
+	if !ok {
+		return nil, false
+	}
+	b, outcome, err := s.buildSystem(spec)
+	if err != nil {
+		return nil, false
+	}
+	s.baseMu.Lock()
+	s.base[key] = b
+	s.restores = append(s.restores, outcome)
+	s.baseMu.Unlock()
+	return b, true
 }
 
 // Handler returns the daemon's full route set, including the telemetry
@@ -292,6 +442,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/get", s.handleGetJob))
 	mux.Handle("GET /v1/attrib/{system}", s.instrument("/v1/attrib", s.handleAttrib))
 	mux.Handle("POST /v1/recalibrate", s.instrument("/v1/recalibrate", s.handleRecalibrate))
+	mux.Handle("POST /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
 	mux.Handle("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
 	mux.Handle("GET /v1/traces/{id}", s.instrument("/v1/traces/get", s.handleTrace))
@@ -382,7 +533,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"uptime_s":    int64(time.Since(s.start).Seconds()),
-		"systems":     s.names,
+		"systems":     s.builtNames(),
 		"queue_depth": s.queue.depth(),
 	})
 }
@@ -398,13 +549,21 @@ type systemInfo struct {
 	ModulesLoaded   int    `json:"modules_loaded"`
 	Quarantined     int    `json:"quarantined"`
 	PVTGeneration   uint64 `json:"pvt_generation"`
+	// Restored marks a system whose state was adopted from a durable
+	// snapshot at boot rather than freshly calibrated.
+	Restored bool `json:"restored,omitempty"`
 }
 
-// handleSystems lists the loaded presets.
+// handleSystems lists the built presets (lazy systems appear once their
+// first request materialises them).
 func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
-	out := make([]systemInfo, 0, len(s.names))
-	for _, name := range s.names {
-		b := s.base[strings.ToLower(name)]
+	names := s.builtNames()
+	out := make([]systemInfo, 0, len(names))
+	for _, name := range names {
+		b, ok := s.builtSystem(name)
+		if !ok {
+			continue
+		}
 		fw, _, gen := b.snapshot()
 		out = append(out, systemInfo{
 			Name:            b.spec.Name,
@@ -416,17 +575,35 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 			ModulesLoaded:   fw.Sys.NumModules(),
 			Quarantined:     len(fw.PVT.Quarantined),
 			PVTGeneration:   gen,
+			Restored:        b.restored,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"systems": out})
 }
 
+// handleSnapshot is POST /v1/snapshot: persist every built system's durable
+// state now. 503 when the daemon has no state directory — the caller asked
+// for a durability guarantee the configuration cannot honour.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.StateDir == "" {
+		writeError(w, http.StatusServiceUnavailable, CodeInternal,
+			"snapshots disabled: no state directory configured (run with -state-dir)")
+		return
+	}
+	metas, err := s.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": metas})
+}
+
 // handlePVT serves a loaded system's Power Variation Table.
 func (s *Server) handlePVT(w http.ResponseWriter, r *http.Request) {
-	b, ok := s.base[strings.ToLower(strings.TrimSpace(r.PathValue("system")))]
+	b, ok := s.baseFor(r.PathValue("system"))
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound,
-			"system %q not loaded (have %v)", r.PathValue("system"), s.names)
+			"system %q not loaded (have %v)", r.PathValue("system"), s.servableNames())
 		return
 	}
 	writeJSON(w, http.StatusOK, b.framework().PVT)
@@ -464,9 +641,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // request is the cache-key identity — two requests meaning the same solve
 // canonicalise identically.
 func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *workload.Benchmark, core.Scheme, units.Watts, error) {
-	b, ok := s.base[strings.ToLower(strings.TrimSpace(req.System))]
+	b, ok := s.baseFor(req.System)
 	if !ok {
-		return req, nil, nil, 0, 0, fmt.Errorf("system %q not loaded (have %v)", req.System, s.names)
+		return req, nil, nil, 0, 0, fmt.Errorf("system %q not loaded (have %v)", req.System, s.servableNames())
 	}
 	req.System = b.spec.Name
 	bench, err := workload.ByName(req.Workload)
@@ -751,10 +928,10 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 // system's attribution collector — the per-job energy ledger and the
 // per-module drift table, with the currently flagged modules.
 func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
-	b, ok := s.base[strings.ToLower(strings.TrimSpace(r.PathValue("system")))]
+	b, ok := s.baseFor(r.PathValue("system"))
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound,
-			"system %q not loaded (have %v)", r.PathValue("system"), s.names)
+			"system %q not loaded (have %v)", r.PathValue("system"), s.servableNames())
 		return
 	}
 	writeJSON(w, http.StatusOK, AttribResponse{
@@ -775,10 +952,10 @@ func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	b, ok := s.base[strings.ToLower(strings.TrimSpace(req.System))]
+	b, ok := s.baseFor(req.System)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound,
-			"system %q not loaded (have %v)", req.System, s.names)
+			"system %q not loaded (have %v)", req.System, s.servableNames())
 		return
 	}
 	modules := req.Modules
@@ -843,7 +1020,7 @@ func (s *Server) runJob(j *job) {
 		s.testHookBeforeJob()
 	}
 	req := j.req
-	b := s.base[strings.ToLower(req.System)]
+	b, _ := s.baseFor(req.System) // canonicalised at submission: present
 	// The executor continues the admission request's trace: its spans join
 	// the same trace ID, parented under the admission root, so a merged
 	// /v1/traces/{id} view reads as one tree across the async boundary.
@@ -914,9 +1091,23 @@ func (s *Server) runJob(j *job) {
 	s.cfg.Obs.EndRequest(jrt, status)
 }
 
-// Drain gracefully shuts the serving state down: stop accepting jobs,
-// finish the queued and in-flight ones, up to ctx's deadline. The HTTP
-// listener's own drain is the caller's (telemetry.Server's) concern — the
-// sequence in cmd/varpowerd is listener first, then queue, then metrics
-// flush.
-func (s *Server) Drain(ctx context.Context) error { return s.queue.drain(ctx) }
+// Drain gracefully shuts the serving state down: stop the periodic
+// snapshot loop, stop accepting jobs, finish the queued and in-flight ones
+// up to ctx's deadline, then write a final snapshot of every built system
+// — the state the next boot restores warm. The HTTP listener's own drain
+// is the caller's (telemetry.Server's) concern — the sequence in
+// cmd/varpowerd is listener first, then queue, then metrics flush.
+func (s *Server) Drain(ctx context.Context) error {
+	s.snapOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+		}
+	})
+	err := s.queue.drain(ctx)
+	if s.cfg.StateDir != "" {
+		if _, serr := s.Snapshot(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

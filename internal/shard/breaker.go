@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"varpower/internal/xrand"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The three states. Closed passes traffic and counts consecutive failures;
+// Open refuses traffic until a jittered backoff deadline; HalfOpen admits
+// exactly one probe request — its outcome decides between Closed and a
+// longer Open.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for /v1/shards and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterises a Breaker.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive failures trip Closed → Open
+	// (default 3: one transport error is a blip, three in a row is a dead
+	// shard).
+	FailThreshold int
+	// OpenBackoff is the first Open hold time (default 500ms); each
+	// consecutive re-open doubles it up to MaxBackoff (default 10s). The
+	// actual hold is jittered ±25% so a fleet of routers does not probe a
+	// recovering shard in lockstep.
+	OpenBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Now is the clock (default time.Now; injectable for tests).
+	Now func() time.Time
+	// JitterSeed seeds the deterministic jitter stream (default a fixed
+	// seed; routers in one fleet should differ, e.g. hash of the shard
+	// name).
+	JitterSeed uint64
+}
+
+// Breaker is a three-state circuit breaker guarding one shard. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int       // consecutive failures while Closed
+	opens   int       // consecutive Open episodes (backoff exponent)
+	until   time.Time // Open expiry
+	probing bool      // a HalfOpen probe is in flight
+	rng     *xrand.Stream
+}
+
+// NewBreaker builds a breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.OpenBackoff <= 0 {
+		cfg.OpenBackoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 0xb4ea4e5
+	}
+	return &Breaker{cfg: cfg, rng: xrand.New(seed)}
+}
+
+// Allow reports whether a request may proceed. Open consumes no traffic
+// until its deadline, then transitions to HalfOpen and admits a single
+// probe; further callers are refused until the probe settles via Success
+// or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Before(b.until) {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a request outcome that proves the shard alive: resets
+// the failure streak, closes the breaker from any state, and forgets the
+// backoff history.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.opens = 0
+	b.probing = false
+}
+
+// Failure records a transport-level failure. While Closed it advances the
+// streak and trips Open at the threshold; a failed HalfOpen probe re-opens
+// with doubled (jittered) backoff.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	case Open:
+		// A straggler from before the trip; the deadline already stands.
+	}
+}
+
+// trip moves to Open with exponential, jittered backoff. Callers hold mu.
+func (b *Breaker) trip() {
+	backoff := b.cfg.OpenBackoff << b.opens
+	if backoff > b.cfg.MaxBackoff || backoff <= 0 {
+		backoff = b.cfg.MaxBackoff
+	}
+	// ±25% jitter: deterministic per breaker, decorrelated across a fleet
+	// seeded differently.
+	jitter := 0.75 + 0.5*b.rng.Float64()
+	b.state = Open
+	b.probing = false
+	b.fails = 0
+	b.opens++
+	b.until = b.cfg.Now().Add(time.Duration(float64(backoff) * jitter))
+}
+
+// State returns the current position (Open past its deadline reads as
+// Open until the next Allow transitions it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

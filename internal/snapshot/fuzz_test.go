@@ -1,0 +1,64 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// validImage renders a well-formed snapshot image in memory.
+func validImage(version uint32, payload []byte) []byte {
+	var buf bytes.Buffer
+	// Reuse the writer through a pipe-free path: build the header exactly
+	// as write() does.
+	img := make([]byte, headerSize+len(payload))
+	copy(img[0:8], magic[:])
+	binary.BigEndian.PutUint32(img[8:12], version)
+	binary.BigEndian.PutUint64(img[12:20], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(img[20:52], sum[:])
+	copy(img[headerSize:], payload)
+	buf.Write(img)
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds arbitrary (and systematically mutated) images into the
+// snapshot reader. The contract under fuzz: never panic, and either return
+// the exact payload of a genuinely valid image or a typed error — so a
+// restore path can always fall back to a cold rebuild cleanly, and a
+// corrupt PVT can never be silently accepted.
+func FuzzDecode(f *testing.F) {
+	payload := []byte(`{"system":"HA8K","generation":2,"pvt":{"entries":[{"module":0,"cpu_max":1.01}]}}`)
+	valid := validImage(1, payload)
+	f.Add(valid)
+	// Truncations at interesting boundaries.
+	for _, n := range []int{0, 4, 8, 12, 20, headerSize - 1, headerSize, headerSize + 1, len(valid) - 1} {
+		f.Add(valid[:n])
+	}
+	// Version bump, magic damage, checksum damage, payload bit-flips.
+	for _, i := range []int{0, 7, 8, 11, 20, 51, headerSize, len(valid) - 1} {
+		b := bytes.Clone(valid)
+		b[i] ^= 0x80
+		f.Add(b)
+	}
+	f.Add(append(bytes.Clone(valid), 0x00))
+	f.Add([]byte("{}"))
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		got, _, err := Decode("fuzz.snap", 1, img)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error outside the corruption taxonomy: %v", err)
+			}
+			return
+		}
+		// Accepted: the image must verify bit-exactly — same header shape,
+		// same checksum — i.e. re-encoding the accepted payload reproduces
+		// the image. Anything else means a mutation slipped through.
+		if !bytes.Equal(validImage(1, got), img) {
+			t.Fatalf("decoder accepted a non-canonical image:\n img=%x\n got=%x", img, got)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package snapshot is the durable-state layer under varpowerd's crash
+// safety: a calibrated shard must survive a SIGKILL without losing the
+// install-time PVT, the recalibration generation, the attribution history
+// or the rendered solve cache it spent minutes building. The package owns
+// the file format only — what goes *into* a snapshot is the service
+// layer's concern — and holds it to three properties:
+//
+//   - versioned: a fixed magic plus an explicit format version lead the
+//     file; a reader asked for version N cleanly rejects anything else
+//     (ErrVersion), so a rolling upgrade can never half-parse an old file;
+//   - checksummed: the payload's length and SHA-256 digest live in the
+//     header, and Read verifies both — a truncated write (ErrTruncated)
+//     or a bit-flip (ErrChecksum) is detected, never deserialized;
+//   - atomic: Write renders to a temporary file in the destination
+//     directory, fsyncs it, renames it over the target, and fsyncs the
+//     directory — a crash mid-write leaves either the old snapshot or the
+//     new one, never a torn file.
+//
+// Every rejection is a typed error under ErrCorrupt (errors.Is), so a
+// caller can distinguish "no snapshot" (fs.ErrNotExist) from "bad
+// snapshot" and fall back to a cold rebuild in both cases — loudly in the
+// second.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"varpower/internal/telemetry"
+)
+
+// Snapshot-layer telemetry: the varpower_snapshot_* family. Write counts
+// and latency make the periodic-snapshot cost visible next to the serving
+// metrics; the bytes gauge tracks the last written size per file.
+var (
+	mWrites = telemetry.Default().Counter("varpower_snapshot_writes_total",
+		"Durable state snapshots written (atomic rename completed).", nil)
+	mWriteErrors = telemetry.Default().Counter("varpower_snapshot_write_errors_total",
+		"Snapshot writes that failed before the atomic rename.", nil)
+	mWriteSeconds = telemetry.Default().Histogram("varpower_snapshot_write_seconds",
+		"Wall-clock time to render, fsync and rename one snapshot.",
+		telemetry.ExpBuckets(100e-6, 2.51, 14), nil)
+	mBytes = telemetry.Default().Gauge("varpower_snapshot_bytes",
+		"Size in bytes of the most recently written snapshot.", nil)
+)
+
+// magic leads every snapshot file. The trailing byte is deliberately not
+// ASCII so text tools do not mistake the file for JSON.
+var magic = [8]byte{'V', 'P', 'S', 'N', 'A', 'P', 0x00, 0xA5}
+
+// headerSize is the fixed prefix before the payload: magic (8), version
+// (4, big-endian), payload length (8, big-endian), SHA-256 digest (32).
+const headerSize = 8 + 4 + 8 + 32
+
+// maxPayload bounds how large a payload Read will accept; snapshots are
+// megabytes of JSON, so anything claiming more than this is corrupt.
+const maxPayload = 1 << 30
+
+// Corruption taxonomy. ErrCorrupt is the umbrella: every specific
+// rejection wraps it, so `errors.Is(err, snapshot.ErrCorrupt)` is the one
+// test a restore path needs before falling back to a cold rebuild.
+var (
+	ErrCorrupt   = errors.New("snapshot: corrupt")
+	ErrBadMagic  = fmt.Errorf("%w: bad magic (not a snapshot file)", ErrCorrupt)
+	ErrVersion   = fmt.Errorf("%w: unsupported format version", ErrCorrupt)
+	ErrTruncated = fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	ErrChecksum  = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+)
+
+// Meta describes a written or verified snapshot file.
+type Meta struct {
+	Path    string `json:"path"`
+	Version uint32 `json:"version"`
+	Bytes   int64  `json:"bytes"`
+	SHA256  string `json:"sha256"`
+}
+
+// Write atomically persists payload to path under the given format
+// version: temp file in the same directory, fsync, rename, directory
+// fsync. The returned Meta describes the finished file.
+func Write(path string, version uint32, payload []byte) (Meta, error) {
+	start := time.Now()
+	m, err := write(path, version, payload)
+	if err != nil {
+		mWriteErrors.Inc()
+		return Meta{}, err
+	}
+	mWrites.Inc()
+	mWriteSeconds.Observe(time.Since(start).Seconds())
+	mBytes.Set(float64(m.Bytes))
+	return m, nil
+}
+
+func write(path string, version uint32, payload []byte) (Meta, error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: create dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return Meta{}, fmt.Errorf("snapshot: create temp: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	sum := sha256.Sum256(payload)
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:8], magic[:])
+	binary.BigEndian.PutUint32(hdr[8:12], version)
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	copy(hdr[20:52], sum[:])
+	if _, err := f.Write(hdr); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: write header: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: write payload: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: close temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return Meta{}, fmt.Errorf("snapshot: rename: %w", err)
+	}
+	tmp = "" // renamed: nothing to clean up
+	syncDir(dir)
+	return Meta{
+		Path:    path,
+		Version: version,
+		Bytes:   int64(headerSize + len(payload)),
+		SHA256:  hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// syncDir makes the rename durable. Best-effort: some filesystems refuse
+// directory fsync, and the rename itself was already atomic.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Read loads and verifies a snapshot written by Write. A missing file
+// surfaces as fs.ErrNotExist; every malformed file as a typed corruption
+// error wrapping ErrCorrupt. The payload is returned only after the
+// version, length and checksum all verify.
+func Read(path string, version uint32) ([]byte, Meta, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return Decode(path, version, raw)
+}
+
+// Decode verifies an in-memory snapshot image (the fuzz surface: Read
+// minus the filesystem).
+func Decode(path string, version uint32, raw []byte) ([]byte, Meta, error) {
+	if len(raw) < headerSize {
+		if len(raw) >= 8 && [8]byte(raw[0:8]) != magic {
+			return nil, Meta{}, fmt.Errorf("read %s: %w", path, ErrBadMagic)
+		}
+		return nil, Meta{}, fmt.Errorf("read %s: %d bytes, header needs %d: %w", path, len(raw), headerSize, ErrTruncated)
+	}
+	if [8]byte(raw[0:8]) != magic {
+		return nil, Meta{}, fmt.Errorf("read %s: %w", path, ErrBadMagic)
+	}
+	if v := binary.BigEndian.Uint32(raw[8:12]); v != version {
+		return nil, Meta{}, fmt.Errorf("read %s: version %d, want %d: %w", path, v, version, ErrVersion)
+	}
+	n := binary.BigEndian.Uint64(raw[12:20])
+	if n > maxPayload {
+		return nil, Meta{}, fmt.Errorf("read %s: payload claims %d bytes: %w", path, n, ErrTruncated)
+	}
+	payload := raw[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, Meta{}, fmt.Errorf("read %s: payload %d bytes, header says %d: %w", path, len(payload), n, ErrTruncated)
+	}
+	sum := sha256.Sum256(payload)
+	if [32]byte(raw[20:52]) != sum {
+		return nil, Meta{}, fmt.Errorf("read %s: %w", path, ErrChecksum)
+	}
+	return payload, Meta{
+		Path:    path,
+		Version: version,
+		Bytes:   int64(len(raw)),
+		SHA256:  hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// WriteJSON marshals v and writes it as a snapshot payload.
+func WriteJSON(path string, version uint32, v any) (Meta, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return Meta{}, fmt.Errorf("snapshot: marshal payload: %w", err)
+	}
+	return Write(path, version, payload)
+}
+
+// ReadJSON reads, verifies and unmarshals a snapshot payload into v. A
+// payload that fails to unmarshal is corruption like any other (the
+// checksum guards bits, not schema drift within a version).
+func ReadJSON(path string, version uint32, v any) (Meta, error) {
+	payload, m, err := Read(path, version)
+	if err != nil {
+		return Meta{}, err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return Meta{}, fmt.Errorf("read %s: decode payload: %v: %w", path, err, ErrCorrupt)
+	}
+	return m, nil
+}

@@ -65,6 +65,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // snapshots, so anything still running after this is a stuck profile dump.
 const defaultDrain = 5 * time.Second
 
+// Kill is the ungraceful stop: the listener and every active connection
+// close immediately, cutting in-flight responses mid-body. It exists for
+// chaos harnesses that need a process-death stand-in; everything else
+// should drain via Shutdown or Close.
+func (s *Server) Kill() {
+	_ = s.srv.Close()
+	<-s.done
+}
+
 // Close is Shutdown with a short default drain timeout — the func() error
 // shape the CLI teardown path wants.
 func (s *Server) Close() error {
