@@ -650,6 +650,40 @@ func BenchmarkAttribSample(b *testing.B) {
 	}
 }
 
+// BenchmarkHeteroSolve measures the hierarchical CPU+GPU budgeting pipeline
+// — PMT construction for both device classes, the class-budget split and
+// the two per-class α-solves — on a 64-module slice of the HA8K-hybrid
+// preset (128 GPUs). This is the per-job control-plane cost a resource
+// manager pays at submission on a heterogeneous machine: varpowerd's
+// cache-miss path for a hybrid system. Tables are built once, outside the
+// timer, exactly as the daemon holds them.
+func BenchmarkHeteroSolve(b *testing.B) {
+	const modules = 64
+	sys := cluster.MustNew(cluster.HA8KHybrid(), modules, 0x5c15)
+	hf, err := core.NewHeteroFramework(sys, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := sys.AllocateFirst(modules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devs := hf.AllDevices()
+	bench := workload.MHD()
+	budget := units.Watts(70*modules + 165*len(devs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, _, _, err := hf.SolveHetero(bench, ids, devs, budget, core.VaFs, core.SplitGreedy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !alloc.CPU.Feasible || !alloc.GPU.Feasible {
+			b.Fatal("benchmark budget became infeasible")
+		}
+	}
+}
+
 func floatName(prefix string, v float64) string {
 	s := prefix + "-"
 	whole := int(v)

@@ -6,10 +6,20 @@
 // Usage:
 //
 //	powbudget [-bench dgemm|stream|ep|mhd|bt|sp|mvmc] [-budget watts]
-//	          [-modules N] [-scheme vapc|vafs|...] [-seed S] [-show K]
+//	          [-modules N] [-scheme vapc|vafs|...] [-system NAME]
+//	          [-splitter uniform|proportional|efficiency|greedy]
+//	          [-seed S] [-show K]
 //	          [-workers W] [-faults FILE] [-record FILE] [-record-hz HZ]
 //	          [-metrics FILE] [-telemetry] [-http ADDR]
 //	          [-quiet] [-v]
+//
+// -system selects the machine preset (default HA8K; any cluster preset
+// name or alias, e.g. "hybrid" for HA8K-hybrid, "summit" for Summit-lite).
+// On a heterogeneous CPU+GPU preset the pipeline becomes hierarchical: the
+// budget is first split across the device classes by the -splitter policy
+// (default greedy), then each class runs its own α-solve, and the output
+// adds the class budgets, the GPU α and locked SM clock, and the
+// per-device power limits. -splitter is rejected on CPU-only systems.
 //
 // -record additionally *executes* the solved allocation with the flight
 // recorder attached — the prologue normally stops at the allocation — and
@@ -49,6 +59,8 @@ func main() {
 		budgetStr = flag.String("budget", "134kW", "application power constraint, e.g. 134kW")
 		modules   = flag.Int("modules", 1920, "modules allocated to the job")
 		scheme    = flag.String("scheme", "vapc", "scheme (naive, pc, vapc, vapcor, vafs, vafsor)")
+		system    = flag.String("system", "ha8k", "machine preset or alias (see cluster presets; hybrid presets enable hierarchical budgeting)")
+		splitter  = flag.String("splitter", "", "class-budget split policy on hybrid presets (uniform, proportional, efficiency, greedy; default greedy)")
 		seed      = flag.Uint64("seed", 0x5c15, "system seed")
 		show      = flag.Int("show", 8, "how many per-module allocations to print")
 		sweep     = flag.String("sweep", "", "comma-separated module counts for an overprovisioning sweep (strong-scales the job; -modules becomes the reference count)")
@@ -63,11 +75,25 @@ func main() {
 	if err := obs.Start("powbudget"); err != nil {
 		fail(err)
 	}
+	// Hybrid presets are whole-machine by default; an explicit -modules
+	// still selects a partial allocation.
+	n := *modules
+	if spec, serr := cluster.SpecByName(*system); serr == nil && spec.Hybrid() {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "modules" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			n = spec.TotalModules()
+		}
+	}
 	var err error
 	if *sweep != "" {
-		err = runSweep(*benchName, *budgetStr, *modules, *sweep, *seed, *workers, obs)
+		err = runSweep(*benchName, *budgetStr, n, *sweep, *seed, *workers, obs)
 	} else {
-		err = run(*benchName, *budgetStr, *modules, *scheme, *seed, *show, *workers, obs)
+		err = run(*benchName, *budgetStr, *system, n, *scheme, *splitter, *seed, *show, *workers, obs)
 	}
 	if cerr := obs.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -141,7 +167,7 @@ func parseScheme(s string) (core.Scheme, error) {
 	return core.SchemeByName(s)
 }
 
-func run(benchName, budgetStr string, modules int, schemeName string, seed uint64, show, workers int, obs *cliutil.Obs) error {
+func run(benchName, budgetStr, systemName string, modules int, schemeName, splitterName string, seed uint64, show, workers int, obs *cliutil.Obs) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -154,7 +180,14 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 	if err != nil {
 		return err
 	}
-	sys, err := cluster.New(cluster.HA8K(), modules, seed)
+	spec, err := cluster.SpecByName(systemName)
+	if err != nil {
+		return err
+	}
+	if !spec.Hybrid() && splitterName != "" {
+		return fmt.Errorf("-splitter applies to hybrid CPU+GPU presets; %s is CPU-only", spec.Name)
+	}
+	sys, err := cluster.New(spec, modules, seed)
 	if err != nil {
 		return err
 	}
@@ -166,6 +199,9 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 	ids, err := sys.AllocateFirst(modules)
 	if err != nil {
 		return err
+	}
+	if spec.Hybrid() {
+		return runHetero(sys, bench, ids, budget, scheme, splitterName, show, workers, obs)
 	}
 	fw, err := core.NewFrameworkWorkers(sys, nil, workers)
 	if err != nil {
@@ -222,6 +258,68 @@ func run(benchName, budgetStr string, modules int, schemeName string, seed uint6
 		}
 		fmt.Printf("\nrecorded run : %.1f s elapsed, avg power %v\n",
 			float64(res.Elapsed), res.AvgTotalPower)
+	}
+	return nil
+}
+
+// runHetero is the hierarchical pipeline for hybrid CPU+GPU presets: split
+// the budget across the device classes, α-solve each class, and print both
+// classes' allocations.
+func runHetero(sys *cluster.System, bench *workload.Benchmark, ids []int,
+	budget units.Watts, scheme core.Scheme, splitterName string, show, workers int, obs *cliutil.Obs) error {
+	if splitterName == "" {
+		splitterName = core.SplitGreedy.String()
+	}
+	split, err := core.SplitterByName(splitterName)
+	if err != nil {
+		return err
+	}
+	hf, err := core.NewHeteroFramework(sys, nil, workers)
+	if err != nil {
+		return err
+	}
+	devs := hf.AllDevices()
+	alloc, _, _, err := hf.SolveHetero(bench, ids, devs, budget, scheme, split)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark    : %s\n", bench.Name)
+	fmt.Printf("system       : %s (%d modules + %d GPUs)\n", sys.Spec.Name, len(ids), len(devs))
+	fmt.Printf("scheme       : %v   splitter: %v\n", scheme, split)
+	fmt.Printf("budget       : %v  ->  cpu %v + gpu %v\n", budget, alloc.CPUBudget, alloc.GPUBudget)
+	fmt.Printf("cpu alpha    : %.4f   target freq %v\n", alloc.CPU.Alpha, alloc.CPU.Freq)
+	fmt.Printf("gpu alpha    : %.4f   locked SM clock %v\n", alloc.GPU.Alpha, alloc.GPU.Clock)
+	fmt.Printf("feasible     : cpu %v, gpu %v   predicted time %.1f s\n",
+		alloc.CPU.Feasible, alloc.GPU.Feasible, float64(alloc.PredictedTime))
+	fmt.Printf("predicted sum: %v\n\n", alloc.CPU.TotalPredicted()+alloc.GPU.TotalPredicted())
+	if !alloc.CPU.Feasible || !alloc.GPU.Feasible {
+		fmt.Println("a class budget is below its floor; the job cannot run")
+		return nil
+	}
+	if hf.GPVT != nil && len(hf.GPVT.Quarantined) > 0 {
+		fmt.Printf("quarantined GPUs: %v\n\n", hf.GPVT.Quarantined)
+	}
+	if show > len(alloc.GPU.Entries) {
+		show = len(alloc.GPU.Entries)
+	}
+	t := report.NewTable(fmt.Sprintf("First %d GPU power limits", show),
+		"Device", "Plimit [W]")
+	for _, e := range alloc.GPU.Entries[:show] {
+		t.AddRow(fmt.Sprint(e.DeviceID), report.Cellf(float64(e.Power), 2))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	// With -record, execute the hierarchical allocation so both classes'
+	// activity lands on the flight recorder's timeline.
+	if rec := obs.Recorder(); rec != nil {
+		hf.Recorder = rec
+		res, err := hf.ExecuteHetero(bench, ids, devs, alloc, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrecorded run : %.1f s elapsed, avg power %v\n",
+			float64(res.Elapsed), res.AvgPower)
 	}
 	return nil
 }

@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	pvtgen [-system ha8k|cab|teller|vulcan] [-modules N] [-seed S] [-o file]
+//	pvtgen [-system NAME] [-modules N] [-seed S] [-o file]
 //	       [-workers W] [-faults FILE]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//
+// -system accepts any cluster preset name or alias (ha8k, cab, teller,
+// vulcan, HA8K-hybrid/"hybrid", Summit-lite/"summit"). On a hybrid CPU+GPU
+// preset the output becomes a combined envelope with "cpu" and "gpu"
+// sections — the GPU device class gets its own install-time sweep (locked
+// SM clocks standing in for P-states) with the same MAD quarantine rules.
 //
 // -faults installs a deterministic fault-injection plan (internal/faults)
 // before the sweep: modules whose sensors stay implausible through retries
@@ -24,10 +30,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"varpower/internal/cliutil"
 	"varpower/internal/cluster"
@@ -38,7 +44,7 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "ha8k", "system preset (ha8k, cab, teller, vulcan)")
+		system  = flag.String("system", "ha8k", "system preset or alias (ha8k, cab, teller, vulcan, hybrid, summit, ...)")
 		sysFile = flag.String("system-file", "", "JSON system description (overrides -system)")
 		modules = flag.Int("modules", 0, "module count (0 = whole machine)")
 		seed    = flag.Uint64("seed", 0x5c15, "system seed")
@@ -76,18 +82,11 @@ func run(system, sysFile string, modules int, seed uint64, out string, workers i
 			return err
 		}
 	} else {
-		switch strings.ToLower(system) {
-		case "ha8k":
-			spec = cluster.HA8K()
-		case "cab":
-			spec = cluster.Cab()
-		case "teller":
-			spec = cluster.Teller()
-		case "vulcan":
-			spec = cluster.Vulcan()
-		default:
-			return fmt.Errorf("unknown system %q", system)
+		s, err := cluster.SpecByName(system)
+		if err != nil {
+			return err
 		}
+		spec = s
 	}
 	sys, err := cluster.New(spec, modules, seed)
 	if err != nil {
@@ -114,6 +113,21 @@ func run(system, sysFile string, modules int, seed uint64, out string, workers i
 		}
 		defer f.Close()
 		w = f
+	}
+	// Hybrid presets get a combined envelope: the CPU table plus the GPU
+	// device class's table, each in its own section. CPU-only systems keep
+	// the bare PVT format.
+	if spec.Hybrid() {
+		gpvt, err := core.GenerateGPUPVT(ctx, sys, workers)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			CPU *core.PVT    `json:"cpu"`
+			GPU *core.GPUPVT `json:"gpu"`
+		}{pvt, gpvt})
 	}
 	return pvt.Save(w)
 }

@@ -14,6 +14,17 @@
 //	          [-state-dir DIR] [-snapshot-interval D]
 //	          [-shard NAME -shard-set SET | -route-to SET]
 //
+// -systems accepts any cluster preset name or alias, including the hybrid
+// CPU+GPU presets (HA8K-hybrid/"hybrid", Summit-lite/"summit"); the default
+// configuration registers the hybrid presets lazily, so they calibrate on
+// first request. Solves against a hybrid system run the hierarchical
+// pipeline — the budget is split across the device classes by the request's
+// "splitter" policy (uniform, proportional, efficiency, greedy; default
+// greedy), then each class α-solves — and the response adds the class
+// budgets, the GPU α, the locked SM clock and per-device power limits.
+// GPU control activity shows up in /v1/metrics as the varpower_gpu_*
+// telemetry families.
+//
 // With -state-dir the daemon restores its systems from durable snapshots
 // at boot (skipping PVT calibration on a warm restore), snapshots on
 // drain, on POST /v1/snapshot and every -snapshot-interval. With -shard

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	varsched -jobs batch.json [-modules N] [-power 12.5kW]
+//	varsched -jobs batch.json [-modules N] [-power 12.5kW] [-system NAME]
 //	         [-policy equal|global-alpha] [-alloc first-fit|efficient]
 //	         [-scheme vafs|vapc|naive|...] [-seed S] [-faults FILE]
 //	         [-record FILE] [-record-hz HZ]
 //	         [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
+//
+// -system selects the machine preset (default HA8K; any cluster preset
+// name or alias, including the hybrid CPU+GPU presets — the scheduler
+// places jobs on the CPU modules either way).
 //
 // -record attaches the flight recorder to every job's final application run
 // and writes the batch timeline at exit (Perfetto trace JSON by default,
@@ -50,6 +54,7 @@ func main() {
 	var (
 		jobsFile = flag.String("jobs", "", "JSON batch description (required)")
 		modules  = flag.Int("modules", 192, "machine size in modules")
+		system   = flag.String("system", "ha8k", "machine preset or alias (see cluster presets)")
 		powerStr = flag.String("power", "", "system power constraint (default 70 W/module)")
 		policy   = flag.String("policy", "global-alpha", "power split policy (equal, global-alpha)")
 		alloc    = flag.String("alloc", "first-fit", "module placement (first-fit, efficient)")
@@ -66,7 +71,7 @@ func main() {
 	if err := obs.Start("varsched"); err != nil {
 		fail(err)
 	}
-	err := run(*jobsFile, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers, obs)
+	err := run(*jobsFile, *system, *modules, *powerStr, *policy, *alloc, *scheme, *seed, *workers, obs)
 	if cerr := obs.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -75,7 +80,7 @@ func main() {
 	}
 }
 
-func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64, workers int, obs *cliutil.Obs) error {
+func run(jobsFile, systemName string, modules int, powerStr, policyName, allocName, schemeName string, seed uint64, workers int, obs *cliutil.Obs) error {
 	if jobsFile == "" {
 		return fmt.Errorf("-jobs is required")
 	}
@@ -136,7 +141,11 @@ func run(jobsFile string, modules int, powerStr, policyName, allocName, schemeNa
 		}
 	}
 
-	sys, err := cluster.New(cluster.HA8K(), modules, seed)
+	spec, err := cluster.SpecByName(systemName)
+	if err != nil {
+		return err
+	}
+	sys, err := cluster.New(spec, modules, seed)
 	if err != nil {
 		return err
 	}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience|fleet|drift]
-//	       [-modules N] [-seed S] [-workers W] [-faults FILE]
+//	varsim [-experiment all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|table4|fig7|fig8|fig9|vt-timeline|resilience|fleet|drift|hetero]
+//	       [-modules N] [-system NAME] [-seed S] [-workers W] [-faults FILE]
 //	       [-record FILE] [-record-hz HZ] [-attrib FILE] [-attrib-hz HZ]
 //	       [-metrics FILE] [-telemetry] [-http ADDR] [-quiet] [-v]
 //	       [-log-level LVL]
@@ -52,6 +52,16 @@
 // re-solves the allocation. -attrib exports the per-job energy ledger and
 // per-module drift table it produced (JSON or CSV by extension, byte-
 // identical run to run); -attrib-hz tunes the collector's sampling rate.
+//
+// The "hetero" experiment (explicit-only) evaluates hierarchical budgeting
+// on a heterogeneous CPU+GPU preset (-system selects it; default
+// HA8K-hybrid, "summit" for Summit-lite): the machine budget is first
+// split across the device classes by each policy (uniform, proportional,
+// efficiency, greedy), then each class runs its own variation-aware
+// α-solve, and every (scheme × splitter) cell reports elapsed time, power
+// and budget adherence against the Naive/uniform baseline. With -record
+// the cells run serially and each run lands GPU counter tracks (board
+// power, limits, SM clocks, throttles) on lanes above the CPU modules.
 package main
 
 import (
@@ -67,8 +77,9 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience, fleet, drift)")
+		exp     = flag.String("experiment", "all", "which artifact to reproduce (all, table1, table2, table3, fig1, fig2, fig3, fig4, fig5, fig6, table4, fig7, fig8, fig9, vt-timeline, resilience, fleet, drift, hetero)")
 		modules = flag.Int("modules", 1920, "HA8K module count")
+		system  = flag.String("system", "", "hybrid preset for -experiment hetero (e.g. hybrid, summit; default HA8K-hybrid)")
 		seed    = flag.Uint64("seed", 0, "system seed (0 = default)")
 		dump    = flag.String("dump", "", "write every figure's raw data series as CSV files into this directory instead of printing summaries")
 		plot    = flag.Bool("plot", false, "also draw ASCII plots of figure shapes (fig1, fig2, fig5)")
@@ -84,12 +95,13 @@ func main() {
 		fail(err)
 	}
 	plotShapes = *plot
-	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan(), Attrib: obs.Attrib()}
-	// The fleet experiment defaults to its own 100k-module scale; -modules
-	// overrides it only when the flag was given explicitly.
+	o := experiments.Options{Seed: *seed, HA8KModules: *modules, Workers: *workers, HeteroSystem: *system, Progress: obs.Progress(), Recorder: obs.Recorder(), Faults: obs.FaultPlan(), Attrib: obs.Attrib()}
+	// The fleet and hetero experiments default to their own scales;
+	// -modules overrides them only when the flag was given explicitly.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "modules" {
 			o.FleetModules = *modules
+			o.HeteroModules = *modules
 		}
 	})
 	var err error
@@ -236,6 +248,20 @@ func run(exp string, o experiments.Options) error {
 			return err
 		}
 		if err := experiments.RenderDrift(w, dr); err != nil {
+			return err
+		}
+	}
+	// hetero sweeps (scheme × class-budget splitter) on a hybrid
+	// CPU+GPU preset under one machine budget; like fleet it defaults to
+	// its own scale and only runs when asked for explicitly.
+	if exp == "hetero" {
+		ran = true
+		report.Section(w, "Hetero")
+		hr, err := experiments.Hetero(o)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderHetero(w, hr); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"varpower/internal/faults"
 	"varpower/internal/hw/cpufreq"
+	"varpower/internal/hw/gpu"
 	"varpower/internal/hw/module"
 	"varpower/internal/hw/msr"
 	"varpower/internal/hw/rapl"
@@ -67,10 +68,33 @@ type Spec struct {
 	// efficiency spread) applied on top of summed module power for
 	// board-granularity systems.
 	BoardFactorSigma float64
+
+	// GPU, when non-nil, makes the system heterogeneous: every node also
+	// carries GPU.PerNode accelerator boards of GPU.Arch. CPU-only presets
+	// leave it nil.
+	GPU *GPUClass
+}
+
+// GPUClass describes a system's accelerator population — a second device
+// class budgeted alongside the CPU modules.
+type GPUClass struct {
+	Arch    *gpu.Arch
+	PerNode int
 }
 
 // TotalModules returns Nodes × ProcsPerNode.
 func (s Spec) TotalModules() int { return s.Nodes * s.ProcsPerNode }
+
+// TotalGPUs returns Nodes × GPU.PerNode (0 on CPU-only systems).
+func (s Spec) TotalGPUs() int {
+	if s.GPU == nil {
+		return 0
+	}
+	return s.Nodes * s.GPU.PerNode
+}
+
+// Hybrid reports whether the spec carries a GPU device class.
+func (s Spec) Hybrid() bool { return s.GPU != nil && s.GPU.PerNode > 0 }
 
 // System is an instantiated machine: a population of modules with their
 // drawn variation factors plus the per-module control/measurement plumbing
@@ -95,6 +119,11 @@ type System struct {
 	ladder  []units.Hertz
 	control rapl.ControlModel
 	faults  *faults.Injector
+
+	// GPU device class (empty slices on CPU-only systems), laid out
+	// struct-of-arrays like the module population.
+	gpus  []gpu.Device
+	gctls []gpu.Controller
 }
 
 // New instantiates count modules of the spec (count ≤ Spec.TotalModules;
@@ -120,6 +149,20 @@ func New(spec Spec, count int, seed uint64) (*System, error) {
 		ladder:      spec.Arch.PStates(),
 		control:     rapl.DefaultControl,
 	}
+	if spec.Hybrid() {
+		if err := spec.GPU.Arch.Validate(); err != nil {
+			return nil, err
+		}
+		// The GPU population scales with the instantiated node count so a
+		// partial instantiation keeps the preset's CPU:GPU ratio.
+		nodes := (count + spec.ProcsPerNode - 1) / spec.ProcsPerNode
+		g := nodes * spec.GPU.PerNode
+		if max := spec.TotalGPUs(); g > max {
+			g = max
+		}
+		sys.gpus = make([]gpu.Device, g)
+		sys.gctls = make([]gpu.Controller, g)
+	}
 	sys.initModules()
 	return sys, nil
 }
@@ -135,6 +178,10 @@ func (s *System) initModules() {
 		s.devices[i].Init(tdp)
 		s.controllers[i].Init(&s.modules[i], &s.devices[i], s.control, s.Seed)
 		s.governors[i].Init(&s.modules[i], s.ladder)
+	}
+	for i := range s.gpus {
+		s.gpus[i].Init(i, s.Spec.GPU.Arch, s.Seed)
+		s.gctls[i].Init(&s.gpus[i], gpu.DefaultControl, s.Seed)
 	}
 }
 
@@ -161,6 +208,36 @@ func (s *System) RAPL(id int) *rapl.Controller { return &s.controllers[id] }
 
 // Governor returns module id's cpufreq governor.
 func (s *System) Governor(id int) *cpufreq.Governor { return &s.governors[id] }
+
+// NumGPUs returns the instantiated GPU device count (0 on CPU-only
+// systems).
+func (s *System) NumGPUs() int { return len(s.gpus) }
+
+// GPUDevice returns GPU device id.
+func (s *System) GPUDevice(id int) *gpu.Device { return &s.gpus[id] }
+
+// GPUCtl returns GPU device id's management controller.
+func (s *System) GPUCtl(id int) *gpu.Controller { return &s.gctls[id] }
+
+// GPUFaultOffset maps GPU device IDs into the fault plan's module-ID space:
+// GPU device g answers to fault-plan module ID GPUFaultOffset()+g, after
+// the CPU modules. Plans are generated against a concrete instantiation, so
+// the offset tracks the instantiated (not nameplate) module count.
+func (s *System) GPUFaultOffset() int { return len(s.modules) }
+
+// gpuFaults adapts the shared injector to the GPU device-ID space.
+type gpuFaults struct {
+	in     *faults.Injector
+	offset int
+}
+
+func (g gpuFaults) EffectiveCap(id int, w units.Watts) units.Watts {
+	return g.in.EffectiveCap(id+g.offset, w)
+}
+
+func (g gpuFaults) SpuriousThrottle(id int) (float64, bool) {
+	return g.in.SpuriousThrottle(id + g.offset)
+}
 
 // SetControlModel replaces every controller's RAPL control-imperfection
 // model (used by ablation benchmarks), reinitialising each controller in
@@ -195,6 +272,13 @@ func (s *System) InstallFaults(in *faults.Injector) {
 		s.devices[i].SetReadInterceptor(in.Device(i))
 		s.controllers[i].SetFaultModel(in)
 	}
+	for i := range s.gctls {
+		if in == nil {
+			s.gctls[i].SetFaultModel(nil)
+			continue
+		}
+		s.gctls[i].SetFaultModel(gpuFaults{in: in, offset: s.GPUFaultOffset()})
+	}
 }
 
 // Reset restores the system to the state a fresh Clone would have: every
@@ -212,6 +296,9 @@ func (s *System) Reset() {
 		s.devices[i].Init(tdp)
 		s.controllers[i].Init(&s.modules[i], &s.devices[i], s.control, s.Seed)
 		s.governors[i].Init(&s.modules[i], s.ladder)
+	}
+	for i := range s.gpus {
+		s.gctls[i].Init(&s.gpus[i], gpu.DefaultControl, s.Seed)
 	}
 	if s.faults != nil {
 		in := s.faults
@@ -387,28 +474,149 @@ func Teller() Spec {
 	}
 }
 
-// Presets returns all four Table-2 systems in the paper's order.
+// --- Hybrid presets (CPU + GPU device classes) ------------------------------
+
+// K20XArch returns a Kepler K20X-class accelerator: 14 SMX, 732 MHz base,
+// 235 W board limit. Variation sigmas follow the population spreads of
+// arXiv 2208.11035 scaled to Kepler-era parts: leakage dominates, device
+// memory varies widely, and GPU Boost gives leakier parts slightly more
+// clock headroom.
+func K20XArch() *gpu.Arch {
+	return &gpu.Arch{
+		Name:   "NVIDIA K20X",
+		Vendor: "NVIDIA", SMs: 14,
+		ClockMin: units.MHz(324), ClockNom: units.MHz(732), ClockBoost: units.MHz(784),
+		ClockStep:     units.MHz(26),
+		TDP:           235,
+		MinLimit:      110,
+		IdlePower:     25,
+		CliffExponent: 2.7,
+		MemBW:         250e9,
+		Variation: variability.Profile{
+			LeakSigma: 0.11, DynSigma: 0.035, DramSigma: 0.13,
+			TurboSpread: 0.04, TurboLeakCorr: 0.6,
+		},
+	}
+}
+
+// V100Arch returns a Volta V100-class accelerator: 80 SMs, 1290 MHz base,
+// 300 W board limit. Sigmas track the ~22% power / ~8% performance spread
+// arXiv 2208.11035 measures on production V100 fleets.
+func V100Arch() *gpu.Arch {
+	return &gpu.Arch{
+		Name:   "NVIDIA V100",
+		Vendor: "NVIDIA", SMs: 80,
+		ClockMin: units.MHz(607), ClockNom: units.MHz(1290), ClockBoost: units.MHz(1530),
+		ClockStep:     units.MHz(15),
+		TDP:           300,
+		MinLimit:      150,
+		IdlePower:     38,
+		CliffExponent: 2.7,
+		MemBW:         900e9,
+		Variation: variability.Profile{
+			LeakSigma: 0.12, DynSigma: 0.04, DramSigma: 0.11,
+			TurboSpread: 0.05, TurboLeakCorr: 0.6,
+		},
+	}
+}
+
+// HA8KHybrid returns a TSUBAME-style accelerated variant of HA8K: the same
+// Ivy Bridge CPU population with four K20X boards per node. The GPU class
+// dominates node power (4×235 W vs 2×130 W), which is what makes naive
+// uniform class splits starve it — the hetero experiment's headline result.
+func HA8KHybrid() Spec {
+	s := HA8K()
+	s.Name = "HA8K-hybrid"
+	s.Nodes = 256
+	s.GPU = &GPUClass{Arch: K20XArch(), PerNode: 4}
+	return s
+}
+
+// SummitLite returns a Summit-flavoured hybrid preset: POWER9-class CPU
+// sockets with six V100 boards per node. Capping is modelled through the
+// same RAPL emulation (on the real machine OCC plays that role).
+func SummitLite() Spec {
+	return Spec{
+		Name: "Summit-lite", Site: "ORNL (scaled)",
+		Arch: &module.Arch{
+			Name:   "IBM POWER9",
+			Vendor: "IBM", CoresPer: 22,
+			FMin: units.GHz(2.0), FNom: units.GHz(3.07), FTurbo: units.GHz(3.45),
+			PStateStep: units.MHz(100),
+			TDP:        190, DramTDP: 72,
+			UncappedCeiling: 170,
+			IdlePower:       32,
+			CliffExponent:   2.7,
+			MemBW:           120e9,
+			Variation: variability.Profile{
+				LeakSigma: 0.11, DynSigma: 0.03, DramSigma: 0.13,
+			},
+		},
+		Nodes: 128, ProcsPerNode: 2, MemoryPerNodeGB: 512,
+		Measurement:     MeasureRAPL,
+		ModulesPerBoard: 1,
+		GPU:             &GPUClass{Arch: V100Arch(), PerNode: 6},
+	}
+}
+
+// Presets returns the four Table-2 systems in the paper's order. Hybrid
+// presets are deliberately excluded — they are opt-in via HybridPresets /
+// AllPresets / SpecByName, so consumers that iterate "the paper's machines"
+// (varpowerd's default system set, the Table-2 render) keep their exact
+// behaviour.
 func Presets() []Spec {
 	return []Spec{Cab(), Vulcan(), Teller(), HA8K()}
 }
 
+// HybridPresets returns the heterogeneous CPU+GPU presets.
+func HybridPresets() []Spec {
+	return []Spec{HA8KHybrid(), SummitLite()}
+}
+
+// AllPresets returns every named preset, Table-2 machines first.
+func AllPresets() []Spec {
+	return append(Presets(), HybridPresets()...)
+}
+
+// aliases maps convenience names to canonical preset names.
+var aliases = map[string]string{
+	"vulcan": "BG/Q Vulcan",
+	"summit": "Summit-lite",
+	"hybrid": "HA8K-hybrid",
+}
+
+// PresetNames returns every resolvable preset name, canonical names first
+// and aliases in parenthesised form — the vocabulary SpecByName's error
+// reports.
+func PresetNames() []string {
+	var names []string
+	for _, s := range AllPresets() {
+		n := s.Name
+		for alias, canon := range aliases {
+			if canon == s.Name {
+				n = fmt.Sprintf("%s (alias %q)", s.Name, alias)
+			}
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
 // SpecByName resolves a preset by name, case-insensitively; "BG/Q Vulcan"
-// also answers to the bare "vulcan". This is the lookup API consumers (the
-// varpowerd control plane, scripts) use, so unknown names report the valid
-// vocabulary.
+// also answers to the bare "vulcan", "Summit-lite" to "summit" and
+// "HA8K-hybrid" to "hybrid". This is the lookup API consumers (the
+// varpowerd control plane, scripts) use, so unknown names enumerate the
+// full valid vocabulary — including the hybrid presets — rather than just
+// rejecting.
 func SpecByName(name string) (Spec, error) {
 	want := strings.ToLower(strings.TrimSpace(name))
-	for _, s := range Presets() {
+	if canon, ok := aliases[want]; ok {
+		want = strings.ToLower(canon)
+	}
+	for _, s := range AllPresets() {
 		if strings.ToLower(s.Name) == want {
 			return s, nil
 		}
 	}
-	if want == "vulcan" {
-		return Vulcan(), nil
-	}
-	var names []string
-	for _, s := range Presets() {
-		names = append(names, s.Name)
-	}
-	return Spec{}, fmt.Errorf("cluster: unknown system %q (have %v)", name, names)
+	return Spec{}, fmt.Errorf("cluster: unknown system %q (have %s)", name, strings.Join(PresetNames(), ", "))
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"varpower/internal/hw/module"
@@ -215,6 +216,10 @@ func TestSpecByName(t *testing.T) {
 		{"vulcan", "BG/Q Vulcan"},
 		{"BG/Q Vulcan", "BG/Q Vulcan"},
 		{" ha8k ", "HA8K"},
+		{"summit", "Summit-lite"},
+		{"Summit-lite", "Summit-lite"},
+		{"hybrid", "HA8K-hybrid"},
+		{"HA8K-HYBRID", "HA8K-hybrid"},
 	} {
 		s, err := SpecByName(c.in)
 		if err != nil {
@@ -224,7 +229,15 @@ func TestSpecByName(t *testing.T) {
 			t.Fatalf("SpecByName(%q) = %q, want %q", c.in, s.Name, c.want)
 		}
 	}
-	if _, err := SpecByName("summit"); err == nil {
+	_, err := SpecByName("no-such-machine")
+	if err == nil {
 		t.Fatal("unknown system must error")
+	}
+	// The error enumerates the full preset vocabulary so operators can
+	// discover the hybrid presets from the CLI/API error alone.
+	for _, want := range []string{"HA8K", "HA8K-hybrid", "Summit-lite", `alias "summit"`, `alias "vulcan"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("SpecByName error %q does not mention %q", err, want)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"varpower/internal/cluster"
+	"varpower/internal/hw/gpu"
 	"varpower/internal/hw/module"
 	"varpower/internal/units"
 	"varpower/internal/variability"
@@ -42,6 +43,30 @@ type SystemJSON struct {
 	BoardSigma      float64 `json:"board_factor_sigma,omitempty"`
 
 	Variation VariationJSON `json:"variation"`
+
+	// GPU, when present, makes the described system heterogeneous: every
+	// node carries PerNode accelerator boards of this class, budgeted
+	// alongside the CPU modules (see cluster.GPUClass).
+	GPU *GPUJSON `json:"gpu,omitempty"`
+}
+
+// GPUJSON is the on-disk form of a cluster.GPUClass.
+type GPUJSON struct {
+	ArchName      string  `json:"arch"`
+	Vendor        string  `json:"vendor"`
+	SMs           int     `json:"sms,omitempty"`
+	ClockMinMHz   float64 `json:"clock_min_mhz"`
+	ClockNomMHz   float64 `json:"clock_nom_mhz"`
+	ClockBoostMHz float64 `json:"clock_boost_mhz"`
+	ClockStepMHz  float64 `json:"clock_step_mhz"`
+	TDPWatts      float64 `json:"tdp_w"`
+	MinLimitWatts float64 `json:"min_limit_w"`
+	IdleWatts     float64 `json:"idle_w"`
+	CliffExponent float64 `json:"cliff_exponent"`
+	MemBWGBs      float64 `json:"mem_bw_gbs"`
+	PerNode       int     `json:"per_node"`
+
+	Variation VariationJSON `json:"variation"`
 }
 
 // VariationJSON is the on-disk form of a variability.Profile.
@@ -56,6 +81,24 @@ type VariationJSON struct {
 // FromSpec converts a cluster.Spec for serialisation.
 func FromSpec(s cluster.Spec) SystemJSON {
 	a := s.Arch
+	var gj *GPUJSON
+	if s.GPU != nil {
+		g := s.GPU.Arch
+		gj = &GPUJSON{
+			ArchName: g.Name, Vendor: g.Vendor, SMs: g.SMs,
+			ClockMinMHz: g.ClockMin.MHz(), ClockNomMHz: g.ClockNom.MHz(),
+			ClockBoostMHz: g.ClockBoost.MHz(), ClockStepMHz: g.ClockStep.MHz(),
+			TDPWatts: float64(g.TDP), MinLimitWatts: float64(g.MinLimit),
+			IdleWatts:     float64(g.IdlePower),
+			CliffExponent: g.CliffExponent, MemBWGBs: g.MemBW / 1e9,
+			PerNode: s.GPU.PerNode,
+			Variation: VariationJSON{
+				LeakSigma: g.Variation.LeakSigma, DynSigma: g.Variation.DynSigma,
+				DramSigma: g.Variation.DramSigma, TurboSpread: g.Variation.TurboSpread,
+				TurboLeakCorr: g.Variation.TurboLeakCorr,
+			},
+		}
+	}
 	return SystemJSON{
 		Name: s.Name, Site: s.Site,
 		ArchName: a.Name, Vendor: a.Vendor, CoresPerProc: a.CoresPer,
@@ -72,6 +115,7 @@ func FromSpec(s cluster.Spec) SystemJSON {
 			DramSigma: a.Variation.DramSigma, TurboSpread: a.Variation.TurboSpread,
 			TurboLeakCorr: a.Variation.TurboLeakCorr,
 		},
+		GPU: gj,
 	}
 }
 
@@ -113,6 +157,32 @@ func (j SystemJSON) Spec() (cluster.Spec, error) {
 	}
 	if err := spec.Arch.Validate(); err != nil {
 		return cluster.Spec{}, err
+	}
+	if j.GPU != nil {
+		g := j.GPU
+		if g.PerNode < 1 || g.PerNode > 64 {
+			return cluster.Spec{}, fmt.Errorf("config: system %q declares a GPU class with %d boards per node (want 1..64)", j.Name, g.PerNode)
+		}
+		spec.GPU = &cluster.GPUClass{
+			Arch: &gpu.Arch{
+				Name: g.ArchName, Vendor: g.Vendor, SMs: g.SMs,
+				ClockMin: units.MHz(g.ClockMinMHz), ClockNom: units.MHz(g.ClockNomMHz),
+				ClockBoost: units.MHz(g.ClockBoostMHz), ClockStep: units.MHz(g.ClockStepMHz),
+				TDP: units.Watts(g.TDPWatts), MinLimit: units.Watts(g.MinLimitWatts),
+				IdlePower:     units.Watts(g.IdleWatts),
+				CliffExponent: g.CliffExponent,
+				MemBW:         g.MemBWGBs * 1e9,
+				Variation: variability.Profile{
+					LeakSigma: g.Variation.LeakSigma, DynSigma: g.Variation.DynSigma,
+					DramSigma: g.Variation.DramSigma, TurboSpread: g.Variation.TurboSpread,
+					TurboLeakCorr: g.Variation.TurboLeakCorr,
+				},
+			},
+			PerNode: g.PerNode,
+		}
+		if err := spec.GPU.Arch.Validate(); err != nil {
+			return cluster.Spec{}, err
+		}
 	}
 	return spec, nil
 }

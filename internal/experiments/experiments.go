@@ -48,6 +48,12 @@ type Options struct {
 	CabSockets    int
 	VulcanBoards  int
 	TellerSockets int
+	// HeteroModules is the hetero experiment's CPU-module count (default
+	// DefaultHeteroModules; the GPU population follows from the node
+	// count), and HeteroSystem its hybrid preset (default "HA8K-hybrid";
+	// any cluster.SpecByName hybrid resolves, e.g. "summit").
+	HeteroModules int
+	HeteroSystem  string
 
 	// Workers bounds every generator's fan-out — per-module measurement,
 	// PVT construction, and the evaluation grid's (benchmark, constraint,

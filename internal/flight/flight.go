@@ -154,6 +154,19 @@ const (
 	// module — its observed power departed from the PVT-predicted model
 	// (Value = the windowed observed/predicted power residual, ≈1 healthy).
 	EventDriftFlag
+	// EventGPULimitSet: a GPU board power limit was programmed
+	// (Value = watts). GPU devices occupy timeline lanes above the CPU
+	// modules, at cluster.System.GPUFaultOffset()+deviceID.
+	EventGPULimitSet
+	// EventGPULimitClear: the board limit was reset to the default.
+	EventGPULimitClear
+	// EventGPUClockLock: an SM application clock was locked (Value = Hz).
+	EventGPUClockLock
+	// EventGPUClockUnlock: locked application clocks were released.
+	EventGPUClockUnlock
+	// EventGPUThrottle: a device resolution fell into clock gating or hit
+	// the board TDP ceiling (Value = delivered SM Hz).
+	EventGPUThrottle
 )
 
 // String returns the stable export name of the event kind.
@@ -175,6 +188,16 @@ func (k EventKind) String() string {
 		return "re-solve"
 	case EventDriftFlag:
 		return "drift-flag"
+	case EventGPULimitSet:
+		return "gpu-limit-set"
+	case EventGPULimitClear:
+		return "gpu-limit-clear"
+	case EventGPUClockLock:
+		return "gpu-clock-lock"
+	case EventGPUClockUnlock:
+		return "gpu-clock-unlock"
+	case EventGPUThrottle:
+		return "gpu-throttle"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -359,6 +382,32 @@ func (c *Capture) Synthesize(rank, module int, busy, wait Draw, cap units.Watts,
 			CPUPower: d.CPU, DramPower: d.Dram,
 			Cap: cap, Freq: freq,
 			Temp: TempProxy(d.CPU+d.Dram, tdp),
+		})
+	}
+}
+
+// SynthesizeGPU emits a GPU device's counter track for the run: ticks at
+// the recorder's rate over [0, elapsed] at the device's steady-state board
+// power and delivered SM clock. lane is the device's timeline lane
+// (cluster.System.GPUFaultOffset()+deviceID, above the CPU modules); board
+// power is recorded in the CPUPower column (the exporter renders one power
+// counter per lane), limit in Cap (0 = board default), and the clock in
+// Freq. Call from a single goroutine after the run resolved.
+func (c *Capture) SynthesizeGPU(lane int, power, limit units.Watts, clock units.Hertz, tdp units.Watts, elapsed units.Seconds) {
+	if c == nil || c.hz <= 0 || elapsed <= 0 {
+		return
+	}
+	n := int(float64(elapsed)*c.hz) + 1
+	for k := 0; k < n; k++ {
+		t := units.Seconds(float64(k) / c.hz)
+		if t > elapsed {
+			break
+		}
+		c.samples.push(Sample{
+			T: t, Module: lane,
+			CPUPower: power,
+			Cap:      limit, Freq: clock,
+			Temp: TempProxy(power, tdp),
 		})
 	}
 }

@@ -34,6 +34,10 @@ type SolveRequest struct {
 	// "medium", "high"): the solve then runs against hardware failing at
 	// those rates, installed via cluster.InstallFaults. Empty means healthy.
 	Faults string `json:"faults,omitempty"`
+	// Splitter selects the hierarchical class-budget policy on hybrid
+	// CPU+GPU systems ("uniform", "proportional", "efficiency", "greedy";
+	// default greedy). Rejected for CPU-only systems.
+	Splitter string `json:"splitter,omitempty"`
 	// Tenant labels the request for observability — trace attributes, log
 	// lines and job attribution. It never affects the solve itself: it is
 	// excluded from the cache keys and absent from SolveResponse, so two
@@ -95,6 +99,22 @@ type SolveResponse struct {
 	Quarantined []int `json:"quarantined,omitempty"`
 
 	Allocations []ModuleAllocation `json:"allocations"`
+
+	// The fields below are present for hybrid CPU+GPU systems only: the
+	// class-budget split the splitter derived and the GPU class's solve.
+	Splitter       string          `json:"splitter,omitempty"`
+	CPUBudgetW     float64         `json:"cpu_budget_w,omitempty"`
+	GPUBudgetW     float64         `json:"gpu_budget_w,omitempty"`
+	GPUAlpha       float64         `json:"gpu_alpha,omitempty"`
+	GPUClockHz     float64         `json:"gpu_clock_hz,omitempty"`
+	GPUQuarantined []int           `json:"gpu_quarantined,omitempty"`
+	GPUAllocations []GPUAllocation `json:"gpu_allocations,omitempty"`
+}
+
+// GPUAllocation is one device's share of a solved GPU class budget.
+type GPUAllocation struct {
+	Device int     `json:"device"`
+	PowerW float64 `json:"power_w"`
 }
 
 // JobState is a queued run's lifecycle position.

@@ -138,6 +138,12 @@ func (c Config) withDefaults() Config {
 		for _, s := range cluster.Presets() {
 			c.Systems = append(c.Systems, s.Name)
 		}
+		// The hybrid CPU+GPU presets ride along lazily: servable on first
+		// request (their GPU population makes eager calibration pricier),
+		// free until then.
+		for _, s := range cluster.HybridPresets() {
+			c.LazySystems = append(c.LazySystems, s.Name)
+		}
 	}
 	if c.Modules == 0 {
 		c.Modules = 192
@@ -184,6 +190,12 @@ type baseSystem struct {
 
 	// recalMu serialises recalibrations (each is a real re-measurement).
 	recalMu sync.Mutex
+
+	// gpvt is the GPU device class's install-time table (nil for CPU-only
+	// presets). It is written once at build/restore time and read-only
+	// thereafter: the recalibration path covers CPU modules only, so no
+	// lock is needed.
+	gpvt *core.GPUPVT
 
 	// restored marks a system whose boot state came from a snapshot rather
 	// than a fresh calibration sweep.
@@ -356,10 +368,28 @@ func (s *Server) coldBuild(spec cluster.Spec, n int) (*baseSystem, RestoreOutcom
 	if err != nil {
 		return nil, RestoreOutcome{}, fmt.Errorf("service: calibrate %s: %w", spec.Name, err)
 	}
+	gpvt, err := s.gpuTableFor(sys)
+	if err != nil {
+		return nil, RestoreOutcome{}, err
+	}
 	return &baseSystem{
-		spec: spec, fw: fw, pool: core.NewReplicaPool(fw),
+		spec: spec, fw: fw, pool: core.NewReplicaPool(fw), gpvt: gpvt,
 		collector: attrib.New(attrib.Config{}),
 	}, RestoreOutcome{System: spec.Name, Outcome: "cold", Note: "calibrated"}, nil
+}
+
+// gpuTableFor runs the GPU device class's install-time calibration sweep
+// (nil for CPU-only systems). The sweep is deterministic in (spec, seed),
+// so restored systems regenerate it instead of persisting it.
+func (s *Server) gpuTableFor(sys *cluster.System) (*core.GPUPVT, error) {
+	if !sys.Spec.Hybrid() {
+		return nil, nil
+	}
+	gpvt, err := core.GenerateGPUPVT(context.Background(), sys, s.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("service: GPU calibrate %s: %w", sys.Spec.Name, err)
+	}
+	return gpvt, nil
 }
 
 // builtSystem looks up an already-built system (no lazy materialisation).
@@ -398,6 +428,15 @@ func (s *Server) servableNames() []string {
 func (s *Server) baseFor(name string) (*baseSystem, bool) {
 	if b, ok := s.builtSystem(name); ok {
 		return b, true
+	}
+	// Alias forms ("hybrid", "summit", "vulcan") canonicalise through the
+	// preset registry, so the aliases cluster.SpecByName documents work
+	// over HTTP too.
+	if spec, err := cluster.SpecByName(name); err == nil {
+		name = spec.Name
+		if b, ok := s.builtSystem(name); ok {
+			return b, true
+		}
 	}
 	key := strings.ToLower(strings.TrimSpace(name))
 	s.lazyMu.Lock()
@@ -552,6 +591,10 @@ type systemInfo struct {
 	// Restored marks a system whose state was adopted from a durable
 	// snapshot at boot rather than freshly calibrated.
 	Restored bool `json:"restored,omitempty"`
+	// GPU fields are present for hybrid presets only.
+	GPUArch        string `json:"gpu_arch,omitempty"`
+	GPUsLoaded     int    `json:"gpus_loaded,omitempty"`
+	GPUQuarantined int    `json:"gpu_quarantined,omitempty"`
 }
 
 // handleSystems lists the built presets (lazy systems appear once their
@@ -565,7 +608,7 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		fw, _, gen := b.snapshot()
-		out = append(out, systemInfo{
+		info := systemInfo{
 			Name:            b.spec.Name,
 			Site:            b.spec.Site,
 			Arch:            b.spec.Arch.Name,
@@ -576,7 +619,15 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 			Quarantined:     len(fw.PVT.Quarantined),
 			PVTGeneration:   gen,
 			Restored:        b.restored,
-		})
+		}
+		if b.spec.Hybrid() {
+			info.GPUArch = b.spec.GPU.Arch.Name
+			info.GPUsLoaded = fw.Sys.NumGPUs()
+			if b.gpvt != nil {
+				info.GPUQuarantined = len(b.gpvt.Quarantined)
+			}
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"systems": out})
 }
@@ -683,6 +734,18 @@ func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *worklo
 			req.Faults = level.Name
 		}
 	}
+	if b.spec.Hybrid() {
+		if req.Splitter == "" {
+			req.Splitter = core.SplitGreedy.String()
+		}
+		splitter, err := core.SplitterByName(req.Splitter)
+		if err != nil {
+			return req, nil, nil, 0, 0, err
+		}
+		req.Splitter = splitter.String()
+	} else if req.Splitter != "" {
+		return req, nil, nil, 0, 0, fmt.Errorf("splitter %q set but %s has no GPU device class", req.Splitter, b.spec.Name)
+	}
 	return req, b, bench, scheme, budget, nil
 }
 
@@ -690,8 +753,8 @@ func (s *Server) canonical(req SolveRequest) (SolveRequest, *baseSystem, *worklo
 // system's PVT generation leads: a recalibration bumps it, so every answer
 // computed against the previous table becomes unreachable at once.
 func solveKey(gen uint64, req SolveRequest) string {
-	return fmt.Sprintf("g%d|%s|%s|%s|%.6f|%d|%d|%s",
-		gen, req.System, req.Workload, req.Scheme, req.BudgetWatts, req.Modules, req.Seed, req.Faults)
+	return fmt.Sprintf("g%d|%s|%s|%s|%.6f|%d|%d|%s|%s",
+		gen, req.System, req.Workload, req.Scheme, req.BudgetWatts, req.Modules, req.Seed, req.Faults, req.Splitter)
 }
 
 // pmtKey is the calibration cache key: everything but the budget, which the
@@ -779,8 +842,11 @@ func (s *Server) calibrate(ctx context.Context, gen uint64, req SolveRequest, b 
 }
 
 // solveBody computes the rendered response for a canonical request — the
-// cache-miss path.
+// cache-miss path. Hybrid systems take the hierarchical route.
 func (s *Server) solveBody(ctx context.Context, gen uint64, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
+	if b.spec.Hybrid() {
+		return s.solveHeteroBody(ctx, req, b, bench, scheme, budget)
+	}
 	cal, err := s.calibrate(ctx, gen, req, b, bench, scheme)
 	if err != nil {
 		return nil, err
@@ -819,6 +885,97 @@ func (s *Server) solveBody(ctx context.Context, gen uint64, req SolveRequest, b 
 			PCPU:    float64(e.Pcpu),
 			PDram:   float64(e.Pdram),
 		}
+	}
+	return marshalBody(resp)
+}
+
+// solveHeteroBody is the hybrid system's cache-miss path: the machine
+// budget is split across the CPU and GPU device classes by the request's
+// splitter, then each class runs its own α-solve. Both class models are
+// built per request (the hetero pipeline needs them together, so the
+// CPU-only PMT cache does not apply); the solve cache above still absorbs
+// repeats.
+func (s *Server) solveHeteroBody(ctx context.Context, req SolveRequest, b *baseSystem, bench *workload.Benchmark, scheme core.Scheme, budget units.Watts) ([]byte, error) {
+	splitter, err := core.SplitterByName(req.Splitter)
+	if err != nil {
+		return nil, err
+	}
+	fw, release, err := s.frameworkFor(req, b)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	gpvt := b.gpvt
+	if gpvt == nil || req.Seed != s.cfg.Seed || req.Faults != "" ||
+		req.Modules > b.framework().Sys.NumModules() {
+		// Custom seed, fault level or size: the owned table does not
+		// describe this replica's devices — run the install-time sweep on
+		// it (pooled replicas are clones of the base system and keep the
+		// owned table).
+		gpvt, err = core.GenerateGPUPVT(ctx, fw.Sys, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hf := &core.HeteroFramework{Framework: fw, GPVT: gpvt}
+	ids, err := fw.Sys.AllocateFirst(req.Modules)
+	if err != nil {
+		return nil, err
+	}
+	devs := hf.AllDevices()
+	_, msp := obs.StartSpan(ctx, "measure")
+	msp.SetAttr("kind", "hetero_solve")
+	msp.SetInt("modules", req.Modules)
+	msp.SetInt("devices", len(devs))
+	alloc, _, _, err := hf.SolveHetero(bench, ids, devs, budget, scheme, splitter)
+	msp.Fail(err)
+	msp.End()
+	if err != nil {
+		return nil, err
+	}
+	var quarantined []int
+	for _, id := range fw.PVT.Quarantined {
+		if id < req.Modules {
+			quarantined = append(quarantined, id)
+		}
+	}
+	resp := SolveResponse{
+		System:      req.System,
+		Workload:    req.Workload,
+		Scheme:      req.Scheme,
+		BudgetWatts: req.BudgetWatts,
+		Modules:     req.Modules,
+		Seed:        req.Seed,
+		Faults:      req.Faults,
+		Alpha:       alloc.CPU.Alpha,
+		FreqHz:      float64(alloc.CPU.Freq),
+		Feasible:    alloc.CPU.Feasible && alloc.GPU.Feasible,
+		Clamped:     alloc.CPU.Clamped || alloc.GPU.Clamped,
+		Constrained: alloc.CPU.Constrained || alloc.GPU.Constrained,
+
+		PredictedPowerW: float64(alloc.CPU.TotalPredicted() + alloc.GPU.TotalPredicted()),
+		PredictedTimeS:  float64(alloc.PredictedTime),
+		Quarantined:     quarantined,
+		Allocations:     make([]ModuleAllocation, len(alloc.CPU.Entries)),
+
+		Splitter:       req.Splitter,
+		CPUBudgetW:     float64(alloc.CPUBudget),
+		GPUBudgetW:     float64(alloc.GPUBudget),
+		GPUAlpha:       alloc.GPU.Alpha,
+		GPUClockHz:     float64(alloc.GPU.Clock),
+		GPUQuarantined: gpvt.Quarantined,
+		GPUAllocations: make([]GPUAllocation, len(alloc.GPU.Entries)),
+	}
+	for i, e := range alloc.CPU.Entries {
+		resp.Allocations[i] = ModuleAllocation{
+			Module:  e.ModuleID,
+			PModule: float64(e.Pmodule),
+			PCPU:    float64(e.Pcpu),
+			PDram:   float64(e.Pdram),
+		}
+	}
+	for i, e := range alloc.GPU.Entries {
+		resp.GPUAllocations[i] = GPUAllocation{Device: e.DeviceID, PowerW: float64(e.Power)}
 	}
 	return marshalBody(resp)
 }

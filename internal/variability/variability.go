@@ -80,7 +80,22 @@ func (p Profile) Validate() error {
 // (seed, moduleID, profile), so module identities are stable across runs,
 // processes, and evaluation orders.
 func Generate(seed uint64, moduleID int, p Profile) Factors {
-	rng := xrand.NewKeyed(seed, 0x6d6f64756c65 /* "module" */, uint64(moduleID))
+	return draw(xrand.NewKeyed(seed, 0x6d6f64756c65 /* "module" */, uint64(moduleID)), p)
+}
+
+// GenerateDomain draws the factors for device deviceID of a non-CPU device
+// class (e.g. "gpu"). The stream is keyed by the domain name, so a GPU and
+// a CPU module sharing an ID on the same system draw independent factors,
+// and adding a device class to a spec never perturbs the existing module
+// population.
+func GenerateDomain(seed uint64, domain string, deviceID int, p Profile) Factors {
+	return draw(xrand.NewKeyed(seed, 0x646576636c73 /* "devcls" */, xrand.HashString(domain), uint64(deviceID)), p)
+}
+
+// draw realises a profile from an already-keyed stream. The draw order is
+// part of the determinism contract: changing it would re-identify every
+// module of every system.
+func draw(rng *xrand.Stream, p Profile) Factors {
 	// zLeak is kept explicitly so the turbo multiplier can correlate with it.
 	zLeak := rng.Normal(0, 1)
 	zTurbo := rng.Normal(0, 1)
